@@ -1,0 +1,144 @@
+package lpbcast
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/membership"
+	"repro/internal/proto"
+	"repro/internal/rng"
+)
+
+// ClusterConfig shapes an in-process cluster (see NewCluster) — the
+// library's equivalent of the paper's 125-workstation testbed, with one
+// goroutine per process.
+type ClusterConfig struct {
+	// N is the number of nodes (ids 1..N).
+	N int
+	// LossProbability is the network's Bernoulli loss ε.
+	LossProbability float64
+	// MinDelay/MaxDelay bound per-message latency.
+	MinDelay, MaxDelay time.Duration
+	// GossipInterval is each node's gossip period T (default 20ms — scaled
+	// down from the paper's period so local experiments run quickly).
+	GossipInterval time.Duration
+	// SeedViewSize is how many random peers each node's view starts with
+	// (default: the configured view size).
+	SeedViewSize int
+	// Seed drives every random choice in the cluster.
+	Seed uint64
+	// NodeOptions apply to every node (view size, fanout, buffers, ...).
+	NodeOptions []Option
+}
+
+// Cluster is a set of live Nodes on one in-process network.
+type Cluster struct {
+	network *Network
+	nodes   []*Node
+}
+
+// NewCluster builds and starts an N-node cluster whose views are seeded
+// with uniformly random peers, mirroring the uniform-view assumption of
+// the paper's analysis.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.N < 2 {
+		return nil, errors.New("lpbcast: cluster needs at least 2 nodes")
+	}
+	if cfg.GossipInterval <= 0 {
+		cfg.GossipInterval = 20 * time.Millisecond
+	}
+	network := NewInprocNetwork(InprocConfig{
+		LossProbability: cfg.LossProbability,
+		MinDelay:        cfg.MinDelay,
+		MaxDelay:        cfg.MaxDelay,
+		Seed:            cfg.Seed,
+	})
+	c := &Cluster{network: network}
+	seedRNG := rng.New(cfg.Seed ^ 0x5eed)
+	for i := 1; i <= cfg.N; i++ {
+		id := ProcessID(i)
+		ep, err := network.Attach(id)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("lpbcast: attach node %d: %w", i, err)
+		}
+		opts := append([]Option{
+			WithGossipInterval(cfg.GossipInterval),
+			WithRNGSeed(cfg.Seed + uint64(i)*0x9e3779b97f4a7c15),
+		}, cfg.NodeOptions...)
+		node, err := NewNode(id, ep, opts...)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("lpbcast: node %d: %w", i, err)
+		}
+		c.nodes = append(c.nodes, node)
+	}
+	// Uniform random seed views.
+	for i, node := range c.nodes {
+		l := cfg.SeedViewSize
+		if l <= 0 {
+			l = node.engine.Config().Membership.MaxView
+		}
+		var seeds []ProcessID
+		for _, j := range seedRNG.Sample(cfg.N-1, l) {
+			if j >= i {
+				j++
+			}
+			seeds = append(seeds, proto.ProcessID(j+1))
+		}
+		node.engine.Seed(seeds)
+	}
+	for _, node := range c.nodes {
+		node.Start()
+	}
+	return c, nil
+}
+
+// Nodes returns the cluster's nodes (index i has id i+1).
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// Node returns the node with the given id.
+func (c *Cluster) Node(id ProcessID) *Node { return c.nodes[int(id)-1] }
+
+// N returns the cluster size.
+func (c *Cluster) N() int { return len(c.nodes) }
+
+// Network returns the underlying in-process network.
+func (c *Cluster) Network() *Network { return c.network }
+
+// AwaitDelivery waits until at least count of fn's accepted events have
+// been delivered at node id, polling until timeout. It is a convenience
+// for tests and examples.
+func (c *Cluster) AwaitDelivery(id ProcessID, want EventID, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	node := c.Node(id)
+	for time.Now().Before(deadline) {
+		node.mu.Lock()
+		known := node.engine.Knows(want)
+		node.mu.Unlock()
+		if known {
+			return true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return false
+}
+
+// Close stops every node and the network.
+func (c *Cluster) Close() error {
+	for _, n := range c.nodes {
+		_ = n.Close()
+	}
+	return c.network.Close()
+}
+
+// Graph snapshots every node's current view as a membership graph for
+// health analyses (components, in-degree distribution, path length).
+func (c *Cluster) Graph() membership.Graph {
+	g := membership.Graph{}
+	for _, n := range c.nodes {
+		g[n.ID()] = n.View()
+	}
+	return g
+}

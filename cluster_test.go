@@ -1,0 +1,141 @@
+package lpbcast
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClusterValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := NewCluster(ClusterConfig{N: 1}); err == nil {
+		t.Error("N=1 accepted")
+	}
+	if _, err := NewCluster(ClusterConfig{N: 3, NodeOptions: []Option{WithFanout(0)}}); err == nil {
+		t.Error("invalid node options accepted")
+	}
+}
+
+func TestClusterBroadcast(t *testing.T) {
+	t.Parallel()
+	cluster, err := NewCluster(ClusterConfig{
+		N:              16,
+		GossipInterval: 4 * time.Millisecond,
+		Seed:           7,
+		NodeOptions:    []Option{WithViewSize(6), WithFanout(3)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if cluster.N() != 16 {
+		t.Fatalf("N = %d", cluster.N())
+	}
+	ev, err := cluster.Node(1).Publish([]byte("to everyone"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := ProcessID(2); id <= 16; id++ {
+		if !cluster.AwaitDelivery(id, ev.ID, 5*time.Second) {
+			t.Fatalf("node %v never delivered the broadcast", id)
+		}
+	}
+}
+
+func TestClusterBroadcastUnderLoss(t *testing.T) {
+	t.Parallel()
+	cluster, err := NewCluster(ClusterConfig{
+		N:               12,
+		LossProbability: 0.05,
+		GossipInterval:  4 * time.Millisecond,
+		Seed:            13,
+		NodeOptions:     []Option{WithViewSize(6)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	ev, err := cluster.Node(3).Publish([]byte("lossy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reached := 0
+	for id := ProcessID(1); id <= 12; id++ {
+		if id == 3 {
+			continue
+		}
+		if cluster.AwaitDelivery(id, ev.ID, 5*time.Second) {
+			reached++
+		}
+	}
+	// ε=0.05 with retransmission: everyone should still get it.
+	if reached < 10 {
+		t.Fatalf("only %d of 11 nodes delivered under 5%% loss", reached)
+	}
+	sent, dropped := cluster.Network().Stats()
+	if sent == 0 || dropped == 0 {
+		t.Fatalf("loss injection inactive: sent=%d dropped=%d", sent, dropped)
+	}
+}
+
+func TestClusterSeedViewSize(t *testing.T) {
+	t.Parallel()
+	cluster, err := NewCluster(ClusterConfig{
+		N:              8,
+		SeedViewSize:   3,
+		GossipInterval: 50 * time.Millisecond, // slow: views stay ≈ seeds
+		Seed:           3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	for _, n := range cluster.Nodes() {
+		if got := len(n.View()); got < 1 || got > 15 {
+			t.Fatalf("node %v view size %d", n.ID(), got)
+		}
+	}
+}
+
+func TestClusterCloseIdempotentAndPrompt(t *testing.T) {
+	t.Parallel()
+	cluster, err := NewCluster(ClusterConfig{N: 4, GossipInterval: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cluster.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cluster close hung")
+	}
+}
+
+func TestClusterGraphHealthy(t *testing.T) {
+	t.Parallel()
+	cluster, err := NewCluster(ClusterConfig{
+		N:              20,
+		GossipInterval: 4 * time.Millisecond,
+		Seed:           77,
+		NodeOptions:    []Option{WithViewSize(6)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	time.Sleep(40 * time.Millisecond)
+	g := cluster.Graph()
+	if len(g) != 20 {
+		t.Fatalf("graph has %d views", len(g))
+	}
+	if g.Partitioned() {
+		t.Fatal("live cluster partitioned")
+	}
+	mean, _, _, _ := g.InDegreeStats()
+	if mean < 3 {
+		t.Errorf("mean in-degree %v suspiciously low", mean)
+	}
+}

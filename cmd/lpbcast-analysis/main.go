@@ -1,0 +1,80 @@
+// Command lpbcast-analysis prints the paper's analytical figures
+// (Figs. 2, 3(a), 3(b), 4 and the equation-5 partition table) as
+// gnuplot-style data tables.
+//
+// Usage:
+//
+//	lpbcast-analysis            # all figures
+//	lpbcast-analysis -fig 3b    # one figure: 2, 3a, 3b, 4, eq5
+//	lpbcast-analysis -fig 2 -n 250 -rounds 12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lpbcast-analysis:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lpbcast-analysis", flag.ContinueOnError)
+	var (
+		fig    = fs.String("fig", "all", "figure to print: 2, 3a, 3b, 4, eq5, loss, all")
+		n      = fs.Int("n", 125, "system size for -fig 2")
+		l      = fs.Int("l", 3, "view size for -fig 4 and eq5")
+		rounds = fs.Int("rounds", 10, "rounds for -fig 2")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	printers := map[string]func() (*stats.Table, error){
+		"2": func() (*stats.Table, error) {
+			return analysis.InfectionByFanout(*n, []int{3, 4, 5, 6}, *rounds)
+		},
+		"3a": analysis.Figure3a,
+		"3b": analysis.Figure3b,
+		"4": func() (*stats.Table, error) {
+			return analysis.PartitionBySize([]int{50, 75, 125}, *l, 50), nil
+		},
+		"eq5": func() (*stats.Table, error) {
+			return analysis.Equation5Table(50, *l), nil
+		},
+		"loss": func() (*stats.Table, error) {
+			return analysis.LossSensitivity(*n, 3, 0.99,
+				[]float64{0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5})
+		},
+	}
+	order := []string{"2", "3a", "3b", "4", "eq5", "loss"}
+
+	if *fig != "all" {
+		p, ok := printers[*fig]
+		if !ok {
+			return fmt.Errorf("unknown figure %q (want 2, 3a, 3b, 4, eq5, loss, all)", *fig)
+		}
+		tbl, err := p()
+		if err != nil {
+			return err
+		}
+		fmt.Print(tbl.Render())
+		return nil
+	}
+	for _, k := range order {
+		tbl, err := printers[k]()
+		if err != nil {
+			return err
+		}
+		fmt.Print(tbl.Render())
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestRunSingleFigures(t *testing.T) {
+	t.Parallel()
+	for _, fig := range []string{"2", "4", "eq5", "loss"} {
+		fig := fig
+		t.Run(fig, func(t *testing.T) {
+			t.Parallel()
+			if err := run([]string{"-fig", fig}); err != nil {
+				t.Fatalf("run(-fig %s): %v", fig, err)
+			}
+		})
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	t.Parallel()
+	if err := run([]string{"-fig", "nope"}); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	t.Parallel()
+	if err := run([]string{"-n", "not-a-number"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunCustomParams(t *testing.T) {
+	t.Parallel()
+	if err := run([]string{"-fig", "2", "-n", "60", "-rounds", "6"}); err != nil {
+		t.Fatalf("custom params: %v", err)
+	}
+	if err := run([]string{"-fig", "4", "-l", "4"}); err != nil {
+		t.Fatalf("custom l: %v", err)
+	}
+}

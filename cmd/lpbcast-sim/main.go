@@ -1,0 +1,78 @@
+// Command lpbcast-sim reproduces the paper's empirical figures by
+// simulation: Figs. 5(a), 5(b) (lpbcast infection traces), 6(a), 6(b)
+// (delivery reliability under bounded buffers) and 7(a), 7(b) (comparison
+// with Bimodal Multicast). Output is a gnuplot-style data table per
+// figure.
+//
+// Usage:
+//
+//	lpbcast-sim                 # all figures at full scale (slow-ish)
+//	lpbcast-sim -fig 6b         # a single figure
+//	lpbcast-sim -quick          # reduced repeats/rounds for a fast look
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lpbcast-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lpbcast-sim", flag.ContinueOnError)
+	var (
+		fig   = fs.String("fig", "all", "figure to print: 5a, 5b, 6a, 6b, 7a, 7b, crash, all")
+		quick = fs.Bool("quick", false, "use reduced repeats/rounds")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scale := sim.FullScale()
+	if *quick {
+		scale = sim.QuickScale()
+	}
+
+	printers := map[string]func(sim.FigureScale) (*stats.Table, error){
+		"5a": sim.Figure5a,
+		"5b": sim.Figure5b,
+		"6a": sim.Figure6a,
+		"6b": sim.Figure6b,
+		"7a": sim.Figure7a,
+		"7b": sim.Figure7b,
+		"crash": func(sim.FigureScale) (*stats.Table, error) {
+			return sim.ResilienceSweep([]float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6}, 9)
+		},
+	}
+	order := []string{"5a", "5b", "6a", "6b", "7a", "7b", "crash"}
+
+	if *fig != "all" {
+		p, ok := printers[*fig]
+		if !ok {
+			return fmt.Errorf("unknown figure %q (want 5a, 5b, 6a, 6b, 7a, 7b, crash, all)", *fig)
+		}
+		tbl, err := p(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(tbl.Render())
+		return nil
+	}
+	for _, k := range order {
+		tbl, err := printers[k](scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(tbl.Render())
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunQuickFigure(t *testing.T) {
+	t.Parallel()
+	if err := run([]string{"-fig", "5b", "-quick"}); err != nil {
+		t.Fatalf("run(-fig 5b -quick): %v", err)
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	t.Parallel()
+	if err := run([]string{"-fig", "9z"}); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	t.Parallel()
+	if err := run([]string{"-quick=maybe"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

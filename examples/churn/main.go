@@ -1,0 +1,164 @@
+// Churn: dynamic membership under continuous joins and leaves (§3.4).
+//
+// A core group of nodes runs while waves of transient nodes join via a
+// single contact, receive traffic, and leave gracefully. The demo prints
+// the view-graph health (connectivity, in-degree spread) after each wave:
+// the membership stays connected and no stale member lingers, with every
+// process holding only a tiny view. Run with:
+//
+//	go run ./examples/churn
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	lpbcast "repro"
+	"repro/internal/membership"
+)
+
+const (
+	coreNodes     = 12
+	transientsPer = 4
+	waves         = 3
+	interval      = 8 * time.Millisecond
+	viewSize      = 6
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.Println("churn:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	network := lpbcast.NewInprocNetwork(lpbcast.InprocConfig{Seed: 5})
+	defer network.Close()
+
+	nodeOpts := func(id lpbcast.ProcessID) []lpbcast.Option {
+		return []lpbcast.Option{
+			lpbcast.WithGossipInterval(interval),
+			lpbcast.WithViewSize(viewSize),
+			lpbcast.WithFanout(3),
+			lpbcast.WithRNGSeed(uint64(id) * 99991),
+			lpbcast.WithUnsubTTL(2 * time.Second),
+		}
+	}
+
+	// Core group: ring-seeded, mixes to a random overlay by gossip.
+	var core []*lpbcast.Node
+	for i := 1; i <= coreNodes; i++ {
+		id := lpbcast.ProcessID(i)
+		ep, err := network.Attach(id)
+		if err != nil {
+			return err
+		}
+		next := lpbcast.ProcessID(i%coreNodes + 1)
+		n, err := lpbcast.NewNode(id, ep, append(nodeOpts(id), lpbcast.WithSeeds(next))...)
+		if err != nil {
+			return err
+		}
+		n.Start()
+		defer n.Close()
+		core = append(core, n)
+	}
+	time.Sleep(20 * interval)
+	printHealth("core group warmed up", core)
+
+	nextID := lpbcast.ProcessID(coreNodes + 1)
+	for wave := 1; wave <= waves; wave++ {
+		// Transient nodes join through node 1 — the §3.4 join protocol.
+		var joined []*lpbcast.Node
+		for i := 0; i < transientsPer; i++ {
+			id := nextID
+			nextID++
+			ep, err := network.Attach(id)
+			if err != nil {
+				return err
+			}
+			n, err := lpbcast.NewNode(id, ep, nodeOpts(id)...)
+			if err != nil {
+				return err
+			}
+			n.Start()
+			if err := n.JoinAndWait(1, 5*time.Second); err != nil {
+				return fmt.Errorf("wave %d: %w", wave, err)
+			}
+			joined = append(joined, n)
+		}
+		time.Sleep(15 * interval)
+
+		// A broadcast from a core node reaches the newcomers too.
+		ev, err := core[wave%coreNodes].Publish([]byte(fmt.Sprintf("wave %d news", wave)))
+		if err != nil {
+			return err
+		}
+		reached := 0
+		deadline := time.Now().Add(3 * time.Second)
+		for _, n := range joined {
+			for time.Now().Before(deadline) {
+				if delivered(n, ev.ID) {
+					reached++
+					break
+				}
+				time.Sleep(interval)
+			}
+		}
+		fmt.Printf("wave %d: broadcast reached %d/%d newcomers\n", wave, reached, len(joined))
+
+		// Newcomers leave gracefully: unsubscription gossips, then silence.
+		for _, n := range joined {
+			if err := n.Leave(); err != nil {
+				return err
+			}
+		}
+		time.Sleep(10 * interval)
+		for _, n := range joined {
+			n.Close()
+		}
+		time.Sleep(20 * interval)
+		printHealth(fmt.Sprintf("after wave %d departed", wave), core)
+	}
+
+	// Final check: no core view still contains a departed transient.
+	stale := 0
+	for _, n := range core {
+		for _, p := range n.View() {
+			if p > coreNodes {
+				stale++
+			}
+		}
+	}
+	fmt.Printf("stale transient entries across all core views: %d\n", stale)
+	return nil
+}
+
+// delivered checks whether the node has delivered the event by draining
+// its delivery channel opportunistically.
+func delivered(n *lpbcast.Node, id lpbcast.EventID) bool {
+	for {
+		select {
+		case ev := <-n.Deliveries():
+			if ev.ID == id {
+				return true
+			}
+		default:
+			return false
+		}
+	}
+}
+
+// printHealth renders the membership graph's health.
+func printHealth(label string, nodes []*lpbcast.Node) {
+	g := membership.Graph{}
+	for _, n := range nodes {
+		g[n.ID()] = n.View()
+	}
+	mean, stddev, min, max := g.InDegreeStats()
+	fmt.Printf("%s: components=%d, in-degree mean=%.1f stddev=%.1f min=%d max=%d\n",
+		label, len(g.Components()), mean, stddev, min, max)
+}

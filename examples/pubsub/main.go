@@ -1,0 +1,128 @@
+// Pub/sub: the application the paper built lpbcast for (topic-based
+// publish/subscribe, §1 and ref [8]).
+//
+// A market-data fan-out: traders subscribe to instrument topics, a feed
+// publishes ticks, and each topic is an independent lpbcast group with its
+// own gossip-managed membership. One trader unsubscribes mid-stream and
+// stops receiving — the group's views forget it through the normal
+// unsubscription piggyback. Run with:
+//
+//	go run ./examples/pubsub
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sync"
+
+	"repro/internal/proto"
+	"repro/internal/pubsub"
+)
+
+// tape records deliveries per (client, topic).
+type tape struct {
+	mu    sync.Mutex
+	ticks map[string]int
+}
+
+func (t *tape) handler(client string) pubsub.Handler {
+	return func(topic string, ev proto.Event) {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		t.ticks[client+" "+topic]++
+	}
+}
+
+func (t *tape) count(client, topic string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ticks[client+" "+topic]
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.Println("pubsub:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	bus := pubsub.NewBus(pubsub.Config{Seed: 7, LossProbability: 0.02})
+	t := &tape{ticks: map[string]int{}}
+
+	// The exchange feed publishes on both instruments, so it subscribes to
+	// both groups (every publisher is a member, §3.1).
+	feed := bus.NewClient("feed")
+	for _, topic := range []string{"ACME", "GLOBEX"} {
+		if _, err := feed.Subscribe(topic, nil); err != nil {
+			return err
+		}
+	}
+
+	// Traders pick their instruments.
+	traders := map[string][]string{
+		"alice": {"ACME"},
+		"bob":   {"ACME", "GLOBEX"},
+		"carol": {"GLOBEX"},
+		"dave":  {"ACME"},
+	}
+	subs := map[string]*pubsub.Subscription{}
+	for name, topics := range traders {
+		cl := bus.NewClient(name)
+		for _, topic := range topics {
+			sub, err := cl.Subscribe(topic, t.handler(name))
+			if err != nil {
+				return err
+			}
+			subs[name+" "+topic] = sub
+		}
+	}
+	bus.StepN(6) // memberships mix
+	fmt.Printf("topics: %v — ACME group has %d members, GLOBEX %d\n",
+		bus.Topics(), bus.TopicSize("ACME"), bus.TopicSize("GLOBEX"))
+
+	// First trading session: 10 ticks per instrument.
+	for i := 0; i < 10; i++ {
+		if _, err := feed.Publish("ACME", []byte(fmt.Sprintf("ACME @ %d", 100+i))); err != nil {
+			return err
+		}
+		if _, err := feed.Publish("GLOBEX", []byte(fmt.Sprintf("GLOBEX @ %d", 250-i))); err != nil {
+			return err
+		}
+		bus.Step()
+	}
+	bus.StepN(10) // drain
+
+	fmt.Println("after session 1:")
+	for _, who := range []string{"alice", "bob", "carol", "dave"} {
+		fmt.Printf("  %-6s ACME=%2d GLOBEX=%2d\n", who, t.count(who, "ACME"), t.count(who, "GLOBEX"))
+	}
+
+	// Dave logs off ACME; his unsubscription gossips through the group.
+	if err := subs["dave ACME"].Cancel(); err != nil {
+		return err
+	}
+	bus.StepN(8)
+	fmt.Printf("dave left ACME — group now has %d members\n", bus.TopicSize("ACME"))
+
+	daveBefore := t.count("dave", "ACME")
+	for i := 0; i < 10; i++ {
+		if _, err := feed.Publish("ACME", []byte(fmt.Sprintf("ACME @ %d", 110+i))); err != nil {
+			return err
+		}
+		bus.Step()
+	}
+	bus.StepN(10)
+
+	fmt.Println("after session 2:")
+	for _, who := range []string{"alice", "bob", "dave"} {
+		fmt.Printf("  %-6s ACME=%2d\n", who, t.count(who, "ACME"))
+	}
+	if t.count("dave", "ACME") != daveBefore {
+		return fmt.Errorf("dave received ticks after unsubscribing")
+	}
+	fmt.Println("dave received nothing after unsubscribing — views forgot him")
+	return nil
+}

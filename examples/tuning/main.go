@@ -1,0 +1,96 @@
+// Tuning: using the paper's analysis as an engineering tool.
+//
+// The paper concludes that "the analytical approach ... can be used as a
+// tool to tune the algorithm for a given expected maximum system size".
+// This example does exactly that: it asks the analysis for the smallest
+// fanout and view size meeting a latency and partition-risk budget for a
+// 600-process deployment, prints the latency distribution the Markov chain
+// predicts, and then validates the recommendation by simulating the real
+// engines. Run with:
+//
+//	go run ./examples/tuning
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.Println("tuning:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const n = 600
+	req := analysis.DefaultRequirements(n)
+	req.MaxRounds = 6 // a tight latency budget: 99% of the system in 6 rounds
+
+	rec, err := analysis.Tune(req)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("deployment target: n=%d, %.0f%% coverage within %d rounds, ε=%.2f, τ=%.2f\n",
+		n, req.InfectFraction*100, req.MaxRounds, req.Epsilon, req.Tau)
+	fmt.Printf("recommendation:    F=%d, l=%d (expected %.2f rounds, partition risk %.2e/round)\n\n",
+		rec.Fanout, rec.ViewSize, rec.ExpectedRounds, rec.PartitionRisk)
+
+	// The chain also predicts the full completion-time distribution.
+	chain, err := analysis.NewChain(analysis.Params{
+		N: n, Fanout: rec.Fanout, Epsilon: req.Epsilon, Tau: req.Tau,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("predicted completion-time distribution (P[99% reached by round r]):")
+	for r, p := range chain.CompletionProbability(req.InfectFraction, req.MaxRounds+3) {
+		bar := ""
+		for i := 0; i < int(p*40); i++ {
+			bar += "#"
+		}
+		fmt.Printf("  round %2d  %6.2f%%  %s\n", r, 100*p, bar)
+	}
+
+	// Validate by simulating the actual protocol engines at the
+	// recommended parameters.
+	opts := sim.DefaultOptions(n)
+	opts.Seed = 600
+	opts.Lpbcast.AssumeFromDigest = true
+	opts.Lpbcast.Fanout = rec.Fanout
+	opts.Lpbcast.Membership.MaxView = rec.ViewSize
+	opts.Lpbcast.Membership.MaxSubs = rec.ViewSize
+	res, err := sim.InfectionExperiment(opts, req.MaxRounds+3, 5)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nsimulated infection with the recommended parameters (mean of 5 runs):")
+	for r, v := range res.PerRound {
+		fmt.Printf("  round %2d  %7.1f / %d\n", r, v, n)
+	}
+
+	// The chain models τ as per-message failure; the simulator actually
+	// crashes ⌊τ·n⌋ processes, which can never deliver. Validate coverage
+	// over the processes that can.
+	alive := n - int(req.Tau*float64(n))
+	target := req.InfectFraction * float64(alive)
+	round, ok := res.RoundsToReach(target)
+	if !ok {
+		return fmt.Errorf("simulation never reached %.0f of %d alive processes", target, alive)
+	}
+	p90, _ := chain.CompletionQuantile(req.InfectFraction, 0.9, req.MaxRounds+6)
+	fmt.Printf("\nsimulation reached %.0f%% of alive processes at round %d; "+
+		"the chain predicts 90%% of runs complete by round %d\n",
+		req.InfectFraction*100, round, p90)
+	if round > p90+1 {
+		return fmt.Errorf("simulation (round %d) disagrees with the analysis (p90 round %d)", round, p90)
+	}
+	fmt.Println("analysis and simulation agree — recommendation validated")
+	return nil
+}

@@ -1,0 +1,159 @@
+package lpbcast
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/membership"
+)
+
+// TestUDPFiveNodeGroup runs a real five-node lpbcast group over loopback
+// UDP: one bootstrap node, four joiners, traffic from every node, graceful
+// leave of one node, and view convergence throughout.
+func TestUDPFiveNodeGroup(t *testing.T) {
+	t.Parallel()
+	const n = 5
+	interval := 10 * time.Millisecond
+
+	transports := make([]*UDPTransport, n)
+	nodes := make([]*Node, n)
+	var mu sync.Mutex
+	counts := map[EventID]int{}
+
+	for i := 0; i < n; i++ {
+		tr, err := NewUDPTransport(ProcessID(i+1), "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tr.Close()
+		transports[i] = tr
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		node, err := NewNode(ProcessID(i+1), transports[i],
+			WithGossipInterval(interval),
+			WithViewSize(4),
+			WithFanout(2),
+			WithRNGSeed(uint64(i)*31337+7),
+			WithDeliveryHandler(func(ev Event) {
+				mu.Lock()
+				counts[ev.ID]++
+				mu.Unlock()
+			}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = node
+		node.Start()
+		defer node.Close()
+	}
+	// Everyone learns node 1's address; joiners subscribe through it.
+	for i := 1; i < n; i++ {
+		if err := transports[i].AddPeer(1, transports[0].LocalAddr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < n; i++ {
+		if err := nodes[i].JoinAndWait(1, 10*time.Second); err != nil {
+			t.Fatalf("node %d join: %v", i+1, err)
+		}
+	}
+
+	// Every node publishes; every event must reach all five nodes.
+	var ids []EventID
+	for i := 0; i < n; i++ {
+		ev, err := nodes[i].Publish([]byte(fmt.Sprintf("from node %d", i+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, ev.ID)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		mu.Lock()
+		done := true
+		for _, id := range ids {
+			if counts[id] < n {
+				done = false
+			}
+		}
+		mu.Unlock()
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			mu.Lock()
+			defer mu.Unlock()
+			t.Fatalf("incomplete delivery over UDP: %v", counts)
+		}
+		time.Sleep(interval)
+	}
+
+	// The view graph over UDP must be connected.
+	g := membership.Graph{}
+	for _, node := range nodes {
+		g[node.ID()] = node.View()
+	}
+	if g.Partitioned() {
+		t.Fatalf("UDP group partitioned: %v", g.Components())
+	}
+
+	// Node 5 leaves gracefully; the others forget it.
+	if err := nodes[4].Leave(); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		stale := false
+		for _, node := range nodes[:4] {
+			for _, p := range node.View() {
+				if p == 5 {
+					stale = true
+				}
+			}
+		}
+		if !stale {
+			return
+		}
+		time.Sleep(interval)
+	}
+	t.Fatal("departed node still referenced after leave")
+}
+
+// TestLargeInprocGroupWithTracing runs 48 live nodes with tracing enabled
+// and verifies full delivery plus sensible trace counters.
+func TestLargeInprocGroupWithTracing(t *testing.T) {
+	t.Parallel()
+	counters := NewTraceCounters()
+	cluster, err := NewCluster(ClusterConfig{
+		N:               48,
+		LossProbability: 0.02,
+		GossipInterval:  5 * time.Millisecond,
+		Seed:            404,
+		NodeOptions: []Option{
+			WithViewSize(8),
+			WithTracer(counters),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	ev, err := cluster.Node(1).Publish([]byte("big group"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := ProcessID(2); id <= 48; id++ {
+		if !cluster.AwaitDelivery(id, ev.ID, 10*time.Second) {
+			t.Fatalf("node %v missed the broadcast", id)
+		}
+	}
+	if counters.Count(TraceDeliver) < 48 {
+		t.Errorf("traced %d deliveries, want ≥ 48", counters.Count(TraceDeliver))
+	}
+	if counters.Count(TraceGossipSent) == 0 || counters.Count(TraceGossipReceived) == 0 {
+		t.Error("gossip activity not traced")
+	}
+}

@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Figure2 computes the paper's Figure 2: expected number of infected
+// processes per round for n=125 and fanouts 3..6.
+func Figure2() (*stats.Table, error) {
+	return InfectionByFanout(125, []int{3, 4, 5, 6}, 10)
+}
+
+// InfectionByFanout generalizes Figure 2 to any system size and fanout
+// set.
+func InfectionByFanout(n int, fanouts []int, rounds int) (*stats.Table, error) {
+	tbl := &stats.Table{
+		Title:   fmt.Sprintf("Fig. 2 — expected #infected per round, n=%d", n),
+		XLabel:  "round",
+		YFormat: "%.2f",
+	}
+	for _, f := range fanouts {
+		params := DefaultParams(n)
+		params.Fanout = f
+		chain, err := NewChain(params)
+		if err != nil {
+			return nil, fmt.Errorf("fanout %d: %w", f, err)
+		}
+		s := &stats.Series{Name: fmt.Sprintf("F=%d", f)}
+		for r, e := range chain.ExpectedInfected(rounds) {
+			s.Add(float64(r), e)
+		}
+		tbl.Series = append(tbl.Series, s)
+	}
+	return tbl, nil
+}
+
+// Figure3a computes the paper's Figure 3(a): expected number of infected
+// processes per round for n = 125..1000 (step 125) at F=3.
+func Figure3a() (*stats.Table, error) {
+	sizes := []int{125, 250, 375, 500, 625, 750, 875, 1000}
+	return InfectionBySystemSize(sizes, 3, 10)
+}
+
+// InfectionBySystemSize generalizes Figure 3(a).
+func InfectionBySystemSize(sizes []int, fanout, rounds int) (*stats.Table, error) {
+	tbl := &stats.Table{
+		Title:   fmt.Sprintf("Fig. 3(a) — expected #infected per round, F=%d", fanout),
+		XLabel:  "round",
+		YFormat: "%.2f",
+	}
+	for _, n := range sizes {
+		params := DefaultParams(n)
+		params.Fanout = fanout
+		chain, err := NewChain(params)
+		if err != nil {
+			return nil, fmt.Errorf("n=%d: %w", n, err)
+		}
+		s := &stats.Series{Name: fmt.Sprintf("n=%d", n)}
+		for r, e := range chain.ExpectedInfected(rounds) {
+			s.Add(float64(r), e)
+		}
+		tbl.Series = append(tbl.Series, s)
+	}
+	return tbl, nil
+}
+
+// Figure3b computes the paper's Figure 3(b): expected number of rounds
+// necessary to infect 99% of the system, for n = 100..1000 (step 100).
+func Figure3b() (*stats.Table, error) {
+	var sizes []int
+	for n := 100; n <= 1000; n += 100 {
+		sizes = append(sizes, n)
+	}
+	return RoundsToInfectBySize(sizes, 3, 0.99)
+}
+
+// RoundsToInfectBySize generalizes Figure 3(b).
+func RoundsToInfectBySize(sizes []int, fanout int, frac float64) (*stats.Table, error) {
+	s := &stats.Series{Name: fmt.Sprintf("rounds to %.0f%%", frac*100)}
+	for _, n := range sizes {
+		params := DefaultParams(n)
+		params.Fanout = fanout
+		chain, err := NewChain(params)
+		if err != nil {
+			return nil, fmt.Errorf("n=%d: %w", n, err)
+		}
+		r, ok := chain.RoundsToInfect(frac, 30)
+		if !ok {
+			return nil, fmt.Errorf("n=%d: target not reached in 30 rounds", n)
+		}
+		s.Add(float64(n), r)
+	}
+	return &stats.Table{
+		Title:   fmt.Sprintf("Fig. 3(b) — expected #rounds to infect %.0f%% of Π, F=%d", frac*100, fanout),
+		XLabel:  "# processes",
+		YFormat: "%.2f",
+		Series:  []*stats.Series{s},
+	}, nil
+}
+
+// Figure4 computes the paper's Figure 4: probability Ψ(i, n, l) of a
+// partition of size i, for l=3 and n ∈ {50, 75, 125}.
+func Figure4() *stats.Table {
+	return PartitionBySize([]int{50, 75, 125}, 3, 50)
+}
+
+// PartitionBySize generalizes Figure 4: Ψ(i, n, l) for i up to maxI.
+func PartitionBySize(sizes []int, l, maxI int) *stats.Table {
+	tbl := &stats.Table{
+		Title:   fmt.Sprintf("Fig. 4 — probability of partitioning, l=%d", l),
+		XLabel:  "# processes in the partition",
+		YFormat: "%.3e",
+	}
+	for _, n := range sizes {
+		s := &stats.Series{Name: fmt.Sprintf("n=%d", n)}
+		for i := l + 1; i <= maxI && i <= n/2; i++ {
+			s.Add(float64(i), PartitionProbability(i, n, l))
+		}
+		tbl.Series = append(tbl.Series, s)
+	}
+	return tbl
+}
+
+// Equation5Table tabulates φ(n, l, r) and the rounds-to-partition numbers
+// around the paper's example (n=50, l=3 → ≈10^12 rounds for 0.9).
+func Equation5Table(n, l int) *stats.Table {
+	s := &stats.Series{Name: "rounds"}
+	for _, prob := range []float64{0.1, 0.5, 0.9, 0.99} {
+		s.Add(prob, RoundsToPartition(n, l, prob))
+	}
+	return &stats.Table{
+		Title:   fmt.Sprintf("Eq. 5 — rounds until partition probability reaches P (n=%d, l=%d)", n, l),
+		XLabel:  "P",
+		YFormat: "%.3e",
+		Series:  []*stats.Series{s},
+	}
+}
+
+// LossSensitivity tabulates the expected rounds to infect frac of the
+// system against the message-loss probability ε — how robust the latency
+// is to a degrading network (an extension of the §4.3 discussion, where
+// ε and τ are "beyond the limits of our influence").
+func LossSensitivity(n, fanout int, frac float64, epsilons []float64) (*stats.Table, error) {
+	s := &stats.Series{Name: fmt.Sprintf("rounds to %.0f%%", frac*100)}
+	for _, eps := range epsilons {
+		params := Params{N: n, Fanout: fanout, Epsilon: eps, Tau: 0.01}
+		chain, err := NewChain(params)
+		if err != nil {
+			return nil, fmt.Errorf("epsilon %v: %w", eps, err)
+		}
+		r, ok := chain.RoundsToInfect(frac, 60)
+		if !ok {
+			return nil, fmt.Errorf("epsilon %v: target unreachable in 60 rounds", eps)
+		}
+		s.Add(eps, r)
+	}
+	return &stats.Table{
+		Title:   fmt.Sprintf("Extension — latency sensitivity to message loss (n=%d, F=%d)", n, fanout),
+		XLabel:  "epsilon",
+		YFormat: "%.2f",
+		Series:  []*stats.Series{s},
+	}, nil
+}

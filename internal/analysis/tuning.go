@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// The paper's concluding remark: "the analytical approach we have given
+// here can be used as a tool to tune the algorithm for a given expected
+// maximum system size." This file is that tool: given a target system
+// size and delivery goal, it recommends the fanout, latency budget, and a
+// view size with a bounded partition risk.
+
+// Requirements describes the deployment target for tuning.
+type Requirements struct {
+	// MaxProcesses is the expected maximum system size n.
+	MaxProcesses int
+	// InfectFraction is the fraction of processes a broadcast must reach
+	// (e.g. 0.99).
+	InfectFraction float64
+	// MaxRounds is the latency budget in gossip rounds.
+	MaxRounds int
+	// Epsilon and Tau are the environment's loss and crash bounds.
+	Epsilon, Tau float64
+	// MaxPartitionRisk bounds the acceptable per-round partition
+	// probability Σψ(i, n, l); the recommended l is the smallest one
+	// meeting it (plus the F ≤ l constraint).
+	MaxPartitionRisk float64
+}
+
+// DefaultRequirements mirrors the paper's environment for system size n:
+// reach 99% within 8 rounds at ε=0.05, τ=0.01, partition risk below 1e-12
+// per round.
+func DefaultRequirements(n int) Requirements {
+	return Requirements{
+		MaxProcesses:     n,
+		InfectFraction:   0.99,
+		MaxRounds:        8,
+		Epsilon:          0.05,
+		Tau:              0.01,
+		MaxPartitionRisk: 1e-12,
+	}
+}
+
+// Validate reports requirement errors.
+func (r Requirements) Validate() error {
+	if r.MaxProcesses < 2 {
+		return errors.New("analysis: MaxProcesses must be at least 2")
+	}
+	if r.InfectFraction <= 0 || r.InfectFraction > 1 {
+		return fmt.Errorf("analysis: InfectFraction %v out of (0, 1]", r.InfectFraction)
+	}
+	if r.MaxRounds < 1 {
+		return errors.New("analysis: MaxRounds must be positive")
+	}
+	if r.Epsilon < 0 || r.Epsilon >= 1 || r.Tau < 0 || r.Tau >= 1 {
+		return errors.New("analysis: epsilon/tau out of [0, 1)")
+	}
+	if r.MaxPartitionRisk <= 0 {
+		return errors.New("analysis: MaxPartitionRisk must be positive")
+	}
+	return nil
+}
+
+// Recommendation is a tuned parameter set.
+type Recommendation struct {
+	// Fanout is the smallest F meeting the latency goal.
+	Fanout int
+	// ViewSize is the smallest l with F ≤ l and partition risk within
+	// bounds.
+	ViewSize int
+	// ExpectedRounds is the (interpolated) expected rounds to the target
+	// fraction at the recommended fanout.
+	ExpectedRounds float64
+	// PartitionRisk is Σψ at the recommended l.
+	PartitionRisk float64
+}
+
+// maxReasonableFanout bounds the tuning search; beyond this, gossip
+// degenerates into flooding and the premise of the paper is lost.
+const maxReasonableFanout = 32
+
+// Tune returns the smallest fanout whose expected dissemination meets the
+// requirements, and the smallest view size that carries it safely.
+func Tune(req Requirements) (Recommendation, error) {
+	if err := req.Validate(); err != nil {
+		return Recommendation{}, err
+	}
+	n := req.MaxProcesses
+	var rec Recommendation
+	found := false
+	for f := 1; f <= maxReasonableFanout && f <= n-1; f++ {
+		chain, err := NewChain(Params{N: n, Fanout: f, Epsilon: req.Epsilon, Tau: req.Tau})
+		if err != nil {
+			return Recommendation{}, err
+		}
+		rounds, ok := chain.RoundsToInfect(req.InfectFraction, req.MaxRounds)
+		if ok && rounds <= float64(req.MaxRounds) {
+			rec.Fanout = f
+			rec.ExpectedRounds = rounds
+			found = true
+			break
+		}
+	}
+	if !found {
+		return Recommendation{}, fmt.Errorf("analysis: no fanout ≤ %d reaches %.0f%% of %d processes within %d rounds",
+			maxReasonableFanout, req.InfectFraction*100, n, req.MaxRounds)
+	}
+	// Smallest l ≥ F with acceptable partition risk.
+	for l := rec.Fanout; l < n; l++ {
+		risk := PartitionSum(n, l)
+		if risk <= req.MaxPartitionRisk {
+			rec.ViewSize = l
+			rec.PartitionRisk = risk
+			return rec, nil
+		}
+	}
+	return Recommendation{}, fmt.Errorf("analysis: no view size meets partition risk %v at n=%d", req.MaxPartitionRisk, n)
+}
+
+// CompletionProbability returns P(s_r >= frac*n) per round r = 0..rounds —
+// the distribution of the broadcast's completion time, a finer-grained
+// latency statement than the expectation curves.
+func (c *Chain) CompletionProbability(frac float64, rounds int) []float64 {
+	target := int(math.Ceil(frac * float64(c.params.N)))
+	if target < 1 {
+		target = 1
+	}
+	dist := c.Distribution(rounds)
+	out := make([]float64, rounds+1)
+	for r, d := range dist {
+		p := 0.0
+		for j := target; j < len(d); j++ {
+			p += d[j]
+		}
+		out[r] = p
+	}
+	return out
+}
+
+// CompletionQuantile returns the first round r at which
+// P(s_r >= frac*n) >= q, or (maxRounds, false).
+func (c *Chain) CompletionQuantile(frac, q float64, maxRounds int) (int, bool) {
+	probs := c.CompletionProbability(frac, maxRounds)
+	for r, p := range probs {
+		if p >= q {
+			return r, true
+		}
+	}
+	return maxRounds, false
+}

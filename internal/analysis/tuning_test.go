@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRequirementsValidate(t *testing.T) {
+	t.Parallel()
+	if err := DefaultRequirements(125).Validate(); err != nil {
+		t.Fatalf("default requirements invalid: %v", err)
+	}
+	bad := []Requirements{
+		{MaxProcesses: 1, InfectFraction: 0.9, MaxRounds: 5, MaxPartitionRisk: 1e-9},
+		{MaxProcesses: 10, InfectFraction: 0, MaxRounds: 5, MaxPartitionRisk: 1e-9},
+		{MaxProcesses: 10, InfectFraction: 1.5, MaxRounds: 5, MaxPartitionRisk: 1e-9},
+		{MaxProcesses: 10, InfectFraction: 0.9, MaxRounds: 0, MaxPartitionRisk: 1e-9},
+		{MaxProcesses: 10, InfectFraction: 0.9, MaxRounds: 5, Epsilon: 1, MaxPartitionRisk: 1e-9},
+		{MaxProcesses: 10, InfectFraction: 0.9, MaxRounds: 5, MaxPartitionRisk: 0},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("case %d validated: %+v", i, r)
+		}
+	}
+}
+
+func TestTunePaperSetting(t *testing.T) {
+	t.Parallel()
+	// At the paper's environment and n=125, the recommended fanout must be
+	// the *smallest* F meeting the 99%-in-8-rounds goal: F itself works,
+	// F-1 does not.
+	req := DefaultRequirements(125)
+	rec, err := Tune(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meets := func(f int) bool {
+		chain, err := NewChain(Params{N: 125, Fanout: f, Epsilon: req.Epsilon, Tau: req.Tau})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, ok := chain.RoundsToInfect(req.InfectFraction, req.MaxRounds)
+		return ok && r <= float64(req.MaxRounds)
+	}
+	if !meets(rec.Fanout) {
+		t.Errorf("recommended fanout %d does not meet the goal", rec.Fanout)
+	}
+	if rec.Fanout > 1 && meets(rec.Fanout-1) {
+		t.Errorf("fanout %d not minimal: %d also meets the goal", rec.Fanout, rec.Fanout-1)
+	}
+	if rec.ExpectedRounds <= 0 || rec.ExpectedRounds > 8 {
+		t.Errorf("ExpectedRounds = %v", rec.ExpectedRounds)
+	}
+	if rec.ViewSize < rec.Fanout {
+		t.Errorf("ViewSize %d < Fanout %d", rec.ViewSize, rec.Fanout)
+	}
+	if rec.PartitionRisk > 1e-12 {
+		t.Errorf("PartitionRisk = %v exceeds bound", rec.PartitionRisk)
+	}
+}
+
+func TestTuneTighterLatencyNeedsBiggerFanout(t *testing.T) {
+	t.Parallel()
+	loose := DefaultRequirements(250)
+	tight := DefaultRequirements(250)
+	tight.MaxRounds = 4
+	rl, err := Tune(loose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := Tune(tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Fanout <= rl.Fanout {
+		t.Errorf("tight budget fanout %d not above loose %d", rt.Fanout, rl.Fanout)
+	}
+}
+
+func TestTuneImpossible(t *testing.T) {
+	t.Parallel()
+	req := DefaultRequirements(1000)
+	req.MaxRounds = 1 // cannot infect 99% of 1000 in one round with F<=32
+	if _, err := Tune(req); err == nil {
+		t.Fatal("impossible requirement tuned successfully")
+	}
+}
+
+func TestTuneRejectsInvalid(t *testing.T) {
+	t.Parallel()
+	if _, err := Tune(Requirements{}); err == nil {
+		t.Fatal("zero requirements accepted")
+	}
+}
+
+func TestCompletionProbabilityMonotone(t *testing.T) {
+	t.Parallel()
+	chain, err := NewChain(DefaultParams(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := chain.CompletionProbability(0.99, 15)
+	prev := -1.0
+	for r, p := range probs {
+		if p < 0 || p > 1+1e-9 {
+			t.Fatalf("round %d: probability %v", r, p)
+		}
+		if p < prev-1e-9 {
+			t.Fatalf("completion probability decreased at round %d", r)
+		}
+		prev = p
+	}
+	if probs[0] != 0 {
+		t.Errorf("P(complete at round 0) = %v, want 0", probs[0])
+	}
+	if probs[15] < 0.99 {
+		t.Errorf("P(complete by round 15) = %v, want ≈1", probs[15])
+	}
+}
+
+func TestCompletionQuantile(t *testing.T) {
+	t.Parallel()
+	chain, err := NewChain(DefaultParams(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	median, ok := chain.CompletionQuantile(0.99, 0.5, 20)
+	if !ok {
+		t.Fatal("median completion not reached in 20 rounds")
+	}
+	p99, ok := chain.CompletionQuantile(0.99, 0.99, 20)
+	if !ok {
+		t.Fatal("p99 completion not reached in 20 rounds")
+	}
+	if p99 < median {
+		t.Errorf("p99 round %d before median round %d", p99, median)
+	}
+	// The expectation-based estimate sits near the median.
+	exp, _ := chain.RoundsToInfect(0.99, 20)
+	if math.Abs(float64(median)-exp) > 2.5 {
+		t.Errorf("median %d far from expectation estimate %v", median, exp)
+	}
+	if _, ok := chain.CompletionQuantile(0.99, 0.999999999, 2); ok {
+		t.Error("unreachable quantile reported reached")
+	}
+}

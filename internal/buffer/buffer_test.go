@@ -1,0 +1,444 @@
+package buffer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/proto"
+	"repro/internal/rng"
+)
+
+func pid(n uint64) proto.ProcessID { return proto.ProcessID(n) }
+
+func TestKeyedListAddContains(t *testing.T) {
+	t.Parallel()
+	l := NewKeyedList(func(p proto.ProcessID) proto.ProcessID { return p })
+	if !l.Add(1) {
+		t.Fatal("first Add returned false")
+	}
+	if l.Add(1) {
+		t.Fatal("duplicate Add returned true")
+	}
+	if !l.Contains(1) || l.Contains(2) {
+		t.Fatal("Contains wrong")
+	}
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+}
+
+func TestKeyedListOrder(t *testing.T) {
+	t.Parallel()
+	l := NewKeyedList(func(p proto.ProcessID) proto.ProcessID { return p })
+	for i := uint64(1); i <= 5; i++ {
+		l.Add(pid(i))
+	}
+	items := l.Items()
+	for i, v := range items {
+		if v != pid(uint64(i+1)) {
+			t.Fatalf("order broken: %v", items)
+		}
+	}
+	if got := l.At(2); got != 3 {
+		t.Fatalf("At(2) = %v", got)
+	}
+}
+
+func TestKeyedListRemove(t *testing.T) {
+	t.Parallel()
+	l := NewKeyedList(func(p proto.ProcessID) proto.ProcessID { return p })
+	l.Add(1)
+	l.Add(2)
+	l.Add(3)
+	if !l.Remove(2) {
+		t.Fatal("Remove(2) = false")
+	}
+	if l.Remove(2) {
+		t.Fatal("second Remove(2) = true")
+	}
+	if l.Contains(2) || l.Len() != 2 {
+		t.Fatal("Remove did not remove")
+	}
+	items := l.Items()
+	if items[0] != 1 || items[1] != 3 {
+		t.Fatalf("order after remove: %v", items)
+	}
+}
+
+func TestKeyedListTruncateRandom(t *testing.T) {
+	t.Parallel()
+	r := rng.New(1)
+	l := NewKeyedList(func(p proto.ProcessID) proto.ProcessID { return p })
+	for i := uint64(1); i <= 20; i++ {
+		l.Add(pid(i))
+	}
+	removed := l.TruncateRandom(5, r)
+	if l.Len() != 5 {
+		t.Fatalf("Len after truncate = %d", l.Len())
+	}
+	if len(removed) != 15 {
+		t.Fatalf("removed %d elements", len(removed))
+	}
+	// No element both kept and removed; union is the original set.
+	seen := map[proto.ProcessID]bool{}
+	for _, v := range append(l.Items(), removed...) {
+		if seen[v] {
+			t.Fatalf("element %v appears twice", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 20 {
+		t.Fatalf("union has %d elements", len(seen))
+	}
+}
+
+func TestKeyedListTruncateRandomNoop(t *testing.T) {
+	t.Parallel()
+	r := rng.New(1)
+	l := NewKeyedList(func(p proto.ProcessID) proto.ProcessID { return p })
+	l.Add(1)
+	if removed := l.TruncateRandom(5, r); removed != nil {
+		t.Fatalf("truncate below max removed %v", removed)
+	}
+	if removed := l.TruncateRandom(-1, r); len(removed) != 1 {
+		t.Fatalf("truncate to negative max removed %v", removed)
+	}
+}
+
+func TestKeyedListTruncateOldest(t *testing.T) {
+	t.Parallel()
+	l := NewKeyedList(func(p proto.ProcessID) proto.ProcessID { return p })
+	for i := uint64(1); i <= 10; i++ {
+		l.Add(pid(i))
+	}
+	removed := l.TruncateOldest(7)
+	if len(removed) != 3 || removed[0] != 1 || removed[2] != 3 {
+		t.Fatalf("removed = %v, want [1 2 3]", removed)
+	}
+	if l.Contains(1) || !l.Contains(4) {
+		t.Fatal("wrong elements evicted")
+	}
+	if got := l.TruncateOldest(7); got != nil {
+		t.Fatalf("second truncate removed %v", got)
+	}
+}
+
+func TestKeyedListRemoveRandom(t *testing.T) {
+	t.Parallel()
+	r := rng.New(2)
+	l := NewKeyedList(func(p proto.ProcessID) proto.ProcessID { return p })
+	if _, ok := l.RemoveRandom(r); ok {
+		t.Fatal("RemoveRandom on empty returned ok")
+	}
+	l.Add(1)
+	l.Add(2)
+	v, ok := l.RemoveRandom(r)
+	if !ok || (v != 1 && v != 2) {
+		t.Fatalf("RemoveRandom = %v,%v", v, ok)
+	}
+	if l.Len() != 1 || l.Contains(v) {
+		t.Fatal("RemoveRandom did not remove")
+	}
+}
+
+func TestKeyedListClear(t *testing.T) {
+	t.Parallel()
+	l := NewKeyedList(func(p proto.ProcessID) proto.ProcessID { return p })
+	l.Add(1)
+	l.Add(2)
+	l.Clear()
+	if l.Len() != 0 || l.Contains(1) {
+		t.Fatal("Clear did not clear")
+	}
+	l.Add(1) // reusable after clear
+	if l.Len() != 1 {
+		t.Fatal("list unusable after Clear")
+	}
+}
+
+func TestKeyedListInvariants(t *testing.T) {
+	t.Parallel()
+	// Property: after any sequence of Add/Remove, idx and items agree and
+	// items are duplicate-free.
+	r := rng.New(3)
+	if err := quick.Check(func(ops []uint16) bool {
+		l := NewKeyedList(func(p proto.ProcessID) proto.ProcessID { return p })
+		for _, op := range ops {
+			p := pid(uint64(op % 32))
+			switch op % 4 {
+			case 0, 1:
+				l.Add(p)
+			case 2:
+				l.Remove(p)
+			case 3:
+				l.TruncateRandom(int(op%8), r)
+			}
+		}
+		seen := map[proto.ProcessID]bool{}
+		for _, v := range l.Items() {
+			if seen[v] || !l.Contains(v) {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(seen) == l.Len()
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnsubListStampRefresh(t *testing.T) {
+	t.Parallel()
+	l := NewUnsubList()
+	l.Add(proto.Unsubscription{Process: 1, Stamp: 10})
+	l.Add(proto.Unsubscription{Process: 1, Stamp: 5}) // older: ignored
+	if got := l.Items()[0].Stamp; got != 10 {
+		t.Fatalf("stamp = %d, want 10", got)
+	}
+	l.Add(proto.Unsubscription{Process: 1, Stamp: 20}) // newer: refresh
+	if got := l.Items()[0].Stamp; got != 20 {
+		t.Fatalf("stamp = %d, want 20", got)
+	}
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+}
+
+func TestUnsubListExpire(t *testing.T) {
+	t.Parallel()
+	l := NewUnsubList()
+	l.Add(proto.Unsubscription{Process: 1, Stamp: 10})
+	l.Add(proto.Unsubscription{Process: 2, Stamp: 90})
+	if n := l.Expire(100, 50); n != 1 {
+		t.Fatalf("Expire dropped %d, want 1", n)
+	}
+	if l.Contains(1) || !l.Contains(2) {
+		t.Fatal("wrong entry expired")
+	}
+	// TTL larger than now: nothing can be obsolete.
+	if n := l.Expire(10, 50); n != 0 {
+		t.Fatalf("Expire with ttl>now dropped %d", n)
+	}
+}
+
+func TestEventBuffer(t *testing.T) {
+	t.Parallel()
+	b := NewEventBuffer()
+	e := proto.Event{ID: proto.EventID{Origin: 1, Seq: 1}, Payload: []byte("x")}
+	if !b.Add(e) || b.Add(e) {
+		t.Fatal("Add/dup behaviour wrong")
+	}
+	if !b.Contains(e.ID) || b.Len() != 1 {
+		t.Fatal("Contains/Len wrong")
+	}
+	b.Clear()
+	if b.Len() != 0 {
+		t.Fatal("Clear failed")
+	}
+}
+
+func TestEventBufferTruncateRandom(t *testing.T) {
+	t.Parallel()
+	r := rng.New(4)
+	b := NewEventBuffer()
+	for i := uint64(1); i <= 30; i++ {
+		b.Add(proto.Event{ID: proto.EventID{Origin: 1, Seq: i}})
+	}
+	removed := b.TruncateRandom(10, r)
+	if b.Len() != 10 || len(removed) != 20 {
+		t.Fatalf("truncate: kept %d removed %d", b.Len(), len(removed))
+	}
+}
+
+func TestIDBufferFIFO(t *testing.T) {
+	t.Parallel()
+	b := NewIDBuffer()
+	for i := uint64(1); i <= 5; i++ {
+		b.Add(proto.EventID{Origin: 1, Seq: i})
+	}
+	evicted := b.TruncateOldest(3)
+	if len(evicted) != 2 || evicted[0].Seq != 1 || evicted[1].Seq != 2 {
+		t.Fatalf("evicted = %v", evicted)
+	}
+	if b.Contains(proto.EventID{Origin: 1, Seq: 1}) {
+		t.Fatal("oldest id still present")
+	}
+	if !b.Contains(proto.EventID{Origin: 1, Seq: 5}) {
+		t.Fatal("newest id evicted")
+	}
+}
+
+func TestArchive(t *testing.T) {
+	t.Parallel()
+	a := NewArchive(2)
+	e1 := proto.Event{ID: proto.EventID{Origin: 1, Seq: 1}}
+	e2 := proto.Event{ID: proto.EventID{Origin: 1, Seq: 2}}
+	e3 := proto.Event{ID: proto.EventID{Origin: 1, Seq: 3}}
+	a.Store(e1)
+	a.Store(e2)
+	a.Store(e3)
+	if a.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", a.Len())
+	}
+	if _, ok := a.Lookup(e1.ID); ok {
+		t.Fatal("oldest event not evicted")
+	}
+	if got, ok := a.Lookup(e3.ID); !ok || got.ID != e3.ID {
+		t.Fatal("newest event missing")
+	}
+}
+
+func TestArchiveDisabled(t *testing.T) {
+	t.Parallel()
+	a := NewArchive(0)
+	a.Store(proto.Event{ID: proto.EventID{Origin: 1, Seq: 1}})
+	if a.Len() != 0 {
+		t.Fatal("disabled archive stored an event")
+	}
+}
+
+func TestCompactDigestBasics(t *testing.T) {
+	t.Parallel()
+	d := NewCompactDigest()
+	id := func(seq uint64) proto.EventID { return proto.EventID{Origin: 9, Seq: seq} }
+	if d.Contains(id(1)) {
+		t.Fatal("empty digest contains id")
+	}
+	if !d.Add(id(1)) || d.Add(id(1)) {
+		t.Fatal("Add/dup wrong")
+	}
+	if d.Watermark(9) != 1 {
+		t.Fatalf("watermark = %d", d.Watermark(9))
+	}
+	// Out of order: 3 then 2 must compact to watermark 3.
+	d.Add(id(3))
+	if d.SparseLen() != 1 {
+		t.Fatalf("sparse = %d", d.SparseLen())
+	}
+	d.Add(id(2))
+	if d.Watermark(9) != 3 || d.SparseLen() != 0 {
+		t.Fatalf("watermark=%d sparse=%d, want 3,0", d.Watermark(9), d.SparseLen())
+	}
+	if !d.Contains(id(2)) {
+		t.Fatal("compacted id lost")
+	}
+}
+
+func TestCompactDigestSeqZero(t *testing.T) {
+	t.Parallel()
+	d := NewCompactDigest()
+	if d.Add(proto.EventID{Origin: 1, Seq: 0}) {
+		t.Fatal("Add of seq 0 returned true")
+	}
+	if d.Contains(proto.EventID{Origin: 1, Seq: 0}) {
+		t.Fatal("Contains of seq 0 returned true")
+	}
+}
+
+func TestCompactDigestForget(t *testing.T) {
+	t.Parallel()
+	d := NewCompactDigest()
+	d.Add(proto.EventID{Origin: 1, Seq: 1})
+	d.Add(proto.EventID{Origin: 2, Seq: 1})
+	d.Forget(1)
+	if d.Contains(proto.EventID{Origin: 1, Seq: 1}) {
+		t.Fatal("forgotten origin still contained")
+	}
+	if d.Origins() != 1 {
+		t.Fatalf("Origins = %d", d.Origins())
+	}
+}
+
+func TestCompactDigestSummary(t *testing.T) {
+	t.Parallel()
+	d := NewCompactDigest()
+	d.Add(proto.EventID{Origin: 2, Seq: 5})
+	d.Add(proto.EventID{Origin: 1, Seq: 1})
+	d.Add(proto.EventID{Origin: 2, Seq: 7})
+	s := d.Summary()
+	if len(s) != 2 || s[0].Origin != 1 || s[1].Origin != 2 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s[1].Watermark != 0 || len(s[1].Sparse) != 2 || s[1].Sparse[0] != 5 || s[1].Sparse[1] != 7 {
+		t.Fatalf("origin 2 entry = %+v", s[1])
+	}
+}
+
+func TestCompactDigestMatchesFlatSet(t *testing.T) {
+	t.Parallel()
+	// Property: CompactDigest.Contains agrees with a plain map-based set for
+	// any insertion order.
+	if err := quick.Check(func(seqsRaw []uint8) bool {
+		d := NewCompactDigest()
+		flat := map[uint64]bool{}
+		for _, raw := range seqsRaw {
+			seq := uint64(raw%40) + 1
+			id := proto.EventID{Origin: 1, Seq: seq}
+			added := d.Add(id)
+			if flat[seq] == added {
+				return false // Add result must match set membership
+			}
+			flat[seq] = true
+		}
+		for seq := uint64(1); seq <= 41; seq++ {
+			if d.Contains(proto.EventID{Origin: 1, Seq: seq}) != flat[seq] {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactDigestCompactionSavesSpace(t *testing.T) {
+	t.Parallel()
+	// In-order delivery of 1000 events must retain zero sparse ids.
+	d := NewCompactDigest()
+	for i := uint64(1); i <= 1000; i++ {
+		d.Add(proto.EventID{Origin: 1, Seq: i})
+	}
+	if d.SparseLen() != 0 {
+		t.Fatalf("in-order stream retained %d sparse ids", d.SparseLen())
+	}
+	if d.Watermark(1) != 1000 {
+		t.Fatalf("watermark = %d", d.Watermark(1))
+	}
+}
+
+func TestPIDList(t *testing.T) {
+	t.Parallel()
+	l := NewPIDList()
+	l.Add(3)
+	l.Add(3)
+	l.Add(4)
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+}
+
+func BenchmarkIDBufferAdd(b *testing.B) {
+	buf := NewIDBuffer()
+	for i := 0; i < b.N; i++ {
+		buf.Add(proto.EventID{Origin: 1, Seq: uint64(i)})
+		buf.TruncateOldest(60)
+	}
+}
+
+func BenchmarkCompactDigestAddInOrder(b *testing.B) {
+	d := NewCompactDigest()
+	for i := 0; i < b.N; i++ {
+		d.Add(proto.EventID{Origin: 1, Seq: uint64(i + 1)})
+	}
+}
+
+func BenchmarkKeyedListTruncateRandom(b *testing.B) {
+	r := rng.New(1)
+	for i := 0; i < b.N; i++ {
+		l := NewKeyedList(func(p proto.ProcessID) proto.ProcessID { return p })
+		for j := uint64(0); j < 40; j++ {
+			l.Add(pid(j))
+		}
+		l.TruncateRandom(30, r)
+	}
+}

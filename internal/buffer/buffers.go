@@ -1,0 +1,172 @@
+package buffer
+
+import (
+	"repro/internal/proto"
+	"repro/internal/rng"
+)
+
+// PIDList is a bounded, duplicate-free list of process identifiers —
+// the representation of the subs buffer.
+type PIDList struct {
+	KeyedList[proto.ProcessID, proto.ProcessID]
+}
+
+// NewPIDList creates an empty PIDList.
+func NewPIDList() *PIDList {
+	return &PIDList{*NewKeyedList(func(p proto.ProcessID) proto.ProcessID { return p })}
+}
+
+// UnsubList is a bounded, duplicate-free list of unsubscriptions keyed by
+// process — the representation of the unSubs buffer. Re-adding an
+// unsubscription for a process already present keeps the newer stamp, so a
+// re-issued unsubscription refreshes its TTL.
+type UnsubList struct {
+	inner KeyedList[proto.ProcessID, proto.Unsubscription]
+}
+
+// NewUnsubList creates an empty UnsubList.
+func NewUnsubList() *UnsubList {
+	return &UnsubList{*NewKeyedList(func(u proto.Unsubscription) proto.ProcessID { return u.Process })}
+}
+
+// Add inserts u, or refreshes the stamp of an existing entry if u is newer.
+// It reports whether the set of processes changed.
+func (l *UnsubList) Add(u proto.Unsubscription) bool {
+	if cur, ok := l.inner.Get(u.Process); ok {
+		if u.Stamp > cur.Stamp {
+			l.inner.Remove(u.Process)
+			l.inner.Add(u)
+		}
+		return false
+	}
+	return l.inner.Add(u)
+}
+
+// Contains reports whether an unsubscription for p is buffered.
+func (l *UnsubList) Contains(p proto.ProcessID) bool { return l.inner.Contains(p) }
+
+// Len returns the number of buffered unsubscriptions.
+func (l *UnsubList) Len() int { return l.inner.Len() }
+
+// Items returns a copy of the unsubscriptions in insertion order.
+func (l *UnsubList) Items() []proto.Unsubscription { return l.inner.Items() }
+
+// TruncateRandom removes random entries until Len() <= max.
+func (l *UnsubList) TruncateRandom(max int, r *rng.Source) []proto.Unsubscription {
+	return l.inner.TruncateRandom(max, r)
+}
+
+// Expire drops every unsubscription whose stamp is older than now-ttl
+// (§3.4: "After a certain time, the unsubscription becomes obsolete").
+// It returns the number of entries dropped.
+func (l *UnsubList) Expire(now, ttl uint64) int {
+	dropped := 0
+	for _, u := range l.inner.Items() {
+		if now >= ttl && u.Stamp < now-ttl {
+			l.inner.Remove(u.Process)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// Remove deletes the unsubscription for p, if any.
+func (l *UnsubList) Remove(p proto.ProcessID) bool { return l.inner.Remove(p) }
+
+// EventBuffer is the bounded events buffer: notifications received for the
+// first time since the last outgoing gossip, truncated randomly.
+type EventBuffer struct {
+	inner KeyedList[proto.EventID, proto.Event]
+}
+
+// NewEventBuffer creates an empty EventBuffer.
+func NewEventBuffer() *EventBuffer {
+	return &EventBuffer{*NewKeyedList(func(e proto.Event) proto.EventID { return e.ID })}
+}
+
+// Add inserts e unless already present, reporting whether it was added.
+func (b *EventBuffer) Add(e proto.Event) bool { return b.inner.Add(e) }
+
+// Contains reports whether the buffer holds an event with the given id.
+func (b *EventBuffer) Contains(id proto.EventID) bool { return b.inner.Contains(id) }
+
+// Len returns the number of buffered events.
+func (b *EventBuffer) Len() int { return b.inner.Len() }
+
+// Items returns a copy of the buffered events in insertion order.
+func (b *EventBuffer) Items() []proto.Event { return b.inner.Items() }
+
+// TruncateRandom removes random events until Len() <= max.
+func (b *EventBuffer) TruncateRandom(max int, r *rng.Source) []proto.Event {
+	return b.inner.TruncateRandom(max, r)
+}
+
+// Remove deletes the event with the given id, reporting whether it was
+// present (used by weighted eviction policies).
+func (b *EventBuffer) Remove(id proto.EventID) bool { return b.inner.Remove(id) }
+
+// Clear empties the buffer ("events ← ∅" after each gossip emission).
+func (b *EventBuffer) Clear() { b.inner.Clear() }
+
+// IDBuffer is the flat representation of eventIds: an insertion-ordered,
+// duplicate-free list of notification identifiers bounded by |eventIds|m
+// with oldest-first eviction. This is exactly the structure whose maximum
+// size drives the reliability measurements of Fig. 6(b).
+type IDBuffer struct {
+	inner KeyedList[proto.EventID, proto.EventID]
+}
+
+// NewIDBuffer creates an empty IDBuffer.
+func NewIDBuffer() *IDBuffer {
+	return &IDBuffer{*NewKeyedList(func(id proto.EventID) proto.EventID { return id })}
+}
+
+// Add inserts id unless present, reporting whether it was added.
+func (b *IDBuffer) Add(id proto.EventID) bool { return b.inner.Add(id) }
+
+// Contains reports whether id is buffered.
+func (b *IDBuffer) Contains(id proto.EventID) bool { return b.inner.Contains(id) }
+
+// Len returns the number of buffered identifiers.
+func (b *IDBuffer) Len() int { return b.inner.Len() }
+
+// IDs returns a copy of the identifiers, oldest first.
+func (b *IDBuffer) IDs() []proto.EventID { return b.inner.Items() }
+
+// TruncateOldest evicts oldest identifiers until Len() <= max ("remove
+// oldest element from eventIds"). It returns the evicted identifiers.
+func (b *IDBuffer) TruncateOldest(max int) []proto.EventID {
+	return b.inner.TruncateOldest(max)
+}
+
+// Archive is the bounded store of older notifications kept "only ... to
+// satisfy retransmission requests" (§3.2). Eviction is oldest-first.
+type Archive struct {
+	inner KeyedList[proto.EventID, proto.Event]
+	max   int
+}
+
+// NewArchive creates an archive bounded at max events; max <= 0 disables
+// archiving entirely (Lookup always misses).
+func NewArchive(max int) *Archive {
+	return &Archive{
+		inner: *NewKeyedList(func(e proto.Event) proto.EventID { return e.ID }),
+		max:   max,
+	}
+}
+
+// Store retains e for future retransmission, evicting oldest entries to
+// respect the bound.
+func (a *Archive) Store(e proto.Event) {
+	if a.max <= 0 {
+		return
+	}
+	a.inner.Add(e)
+	a.inner.TruncateOldest(a.max)
+}
+
+// Lookup returns the archived event with the given id.
+func (a *Archive) Lookup(id proto.EventID) (proto.Event, bool) { return a.inner.Get(id) }
+
+// Len returns the number of archived events.
+func (a *Archive) Len() int { return a.inner.Len() }

@@ -1,0 +1,129 @@
+package buffer
+
+import (
+	"sort"
+
+	"repro/internal/proto"
+)
+
+// CompactDigest is the paper's §3.2 optimization of the eventIds buffer:
+// because identifiers embed their originator and a per-origin sequence
+// number, the buffer "can be optimized by only retaining for each sender
+// the identifiers of notifications delivered since the last one delivered
+// in sequence". Per origin we keep a watermark W — every sequence number
+// <= W has been delivered — plus the sparse set of delivered sequence
+// numbers above W.
+//
+// Compared to the flat IDBuffer, membership information about an in-order
+// prefix of each origin's stream costs O(1) instead of O(prefix length).
+type CompactDigest struct {
+	origins map[proto.ProcessID]*originDigest
+}
+
+type originDigest struct {
+	watermark uint64 // all seq in [1..watermark] delivered
+	sparse    map[uint64]struct{}
+}
+
+// NewCompactDigest creates an empty digest.
+func NewCompactDigest() *CompactDigest {
+	return &CompactDigest{origins: make(map[proto.ProcessID]*originDigest)}
+}
+
+// Contains reports whether id has been recorded. Sequence numbering starts
+// at 1; seq 0 is never contained.
+func (d *CompactDigest) Contains(id proto.EventID) bool {
+	od, ok := d.origins[id.Origin]
+	if !ok {
+		return false
+	}
+	if id.Seq == 0 {
+		return false
+	}
+	if id.Seq <= od.watermark {
+		return true
+	}
+	_, ok = od.sparse[id.Seq]
+	return ok
+}
+
+// Add records id, reporting whether it was new. Contiguous sparse entries
+// are absorbed into the watermark.
+func (d *CompactDigest) Add(id proto.EventID) bool {
+	if id.Seq == 0 {
+		return false
+	}
+	od, ok := d.origins[id.Origin]
+	if !ok {
+		od = &originDigest{sparse: make(map[uint64]struct{})}
+		d.origins[id.Origin] = od
+	}
+	if id.Seq <= od.watermark {
+		return false
+	}
+	if _, dup := od.sparse[id.Seq]; dup {
+		return false
+	}
+	if id.Seq == od.watermark+1 {
+		od.watermark++
+		// Absorb any now-contiguous sparse entries.
+		for {
+			if _, ok := od.sparse[od.watermark+1]; !ok {
+				break
+			}
+			delete(od.sparse, od.watermark+1)
+			od.watermark++
+		}
+		return true
+	}
+	od.sparse[id.Seq] = struct{}{}
+	return true
+}
+
+// SparseLen returns the total number of explicitly retained (out-of-order)
+// identifiers across all origins — the memory the compaction saves shows up
+// as the gap between this and a flat buffer's length.
+func (d *CompactDigest) SparseLen() int {
+	n := 0
+	for _, od := range d.origins {
+		n += len(od.sparse)
+	}
+	return n
+}
+
+// Origins returns the number of tracked origins.
+func (d *CompactDigest) Origins() int { return len(d.origins) }
+
+// Watermark returns the contiguous delivered prefix for origin.
+func (d *CompactDigest) Watermark(origin proto.ProcessID) uint64 {
+	if od, ok := d.origins[origin]; ok {
+		return od.watermark
+	}
+	return 0
+}
+
+// Forget drops all state for origin — used when an origin unsubscribes.
+func (d *CompactDigest) Forget(origin proto.ProcessID) { delete(d.origins, origin) }
+
+// Summary lists, per origin, the watermark and the ascending sparse
+// sequence numbers. The slice is ordered by origin for determinism.
+func (d *CompactDigest) Summary() []DigestEntry {
+	out := make([]DigestEntry, 0, len(d.origins))
+	for origin, od := range d.origins {
+		sp := make([]uint64, 0, len(od.sparse))
+		for s := range od.sparse {
+			sp = append(sp, s)
+		}
+		sort.Slice(sp, func(i, j int) bool { return sp[i] < sp[j] })
+		out = append(out, DigestEntry{Origin: origin, Watermark: od.watermark, Sparse: sp})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Origin < out[j].Origin })
+	return out
+}
+
+// DigestEntry is one origin's compacted digest state.
+type DigestEntry struct {
+	Origin    proto.ProcessID
+	Watermark uint64
+	Sparse    []uint64
+}

@@ -1,0 +1,153 @@
+// Package buffer implements the bounded, duplicate-free buffers lpbcast is
+// built from (§3.2 of the paper): every protocol list has a maximum size
+// |L|m, "trying to add an already contained element to a list leaves the
+// list unchanged", and the truncation policy differs per list — random
+// removal for subs/unSubs/events, oldest-first removal for eventIds.
+//
+// The package also provides the paper's two digest representations: a flat
+// FIFO identifier buffer (what the measurements in §5.2 bound by
+// |eventIds|m) and the per-sender sequence-compacted digest the paper
+// sketches as an optimization ("only retaining for each sender the
+// identifiers of notifications delivered since the last one delivered in
+// sequence").
+package buffer
+
+import (
+	"repro/internal/rng"
+)
+
+// KeyedList is an insertion-ordered, duplicate-free list of values indexed
+// by a comparable key. It is the common substrate of the protocol buffers:
+// O(1) membership tests plus ordered iteration for FIFO eviction.
+//
+// KeyedList is not safe for concurrent use.
+type KeyedList[K comparable, V any] struct {
+	key   func(V) K
+	idx   map[K]struct{}
+	items []V
+}
+
+// NewKeyedList creates a list whose elements are identified by key.
+func NewKeyedList[K comparable, V any](key func(V) K) *KeyedList[K, V] {
+	return &KeyedList[K, V]{key: key, idx: make(map[K]struct{})}
+}
+
+// Add appends v unless an element with the same key is present. It reports
+// whether the element was added.
+func (l *KeyedList[K, V]) Add(v V) bool {
+	k := l.key(v)
+	if _, dup := l.idx[k]; dup {
+		return false
+	}
+	l.idx[k] = struct{}{}
+	l.items = append(l.items, v)
+	return true
+}
+
+// Contains reports whether an element with key k is present.
+func (l *KeyedList[K, V]) Contains(k K) bool {
+	_, ok := l.idx[k]
+	return ok
+}
+
+// Get returns the element with key k.
+func (l *KeyedList[K, V]) Get(k K) (V, bool) {
+	if _, ok := l.idx[k]; ok {
+		for _, v := range l.items {
+			if l.key(v) == k {
+				return v, true
+			}
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Remove deletes the element with key k, preserving the order of the rest.
+// It reports whether an element was removed.
+func (l *KeyedList[K, V]) Remove(k K) bool {
+	if _, ok := l.idx[k]; !ok {
+		return false
+	}
+	delete(l.idx, k)
+	for i, v := range l.items {
+		if l.key(v) == k {
+			l.items = append(l.items[:i], l.items[i+1:]...)
+			return true
+		}
+	}
+	return false // unreachable: idx and items are kept consistent
+}
+
+// Len returns the number of elements.
+func (l *KeyedList[K, V]) Len() int { return len(l.items) }
+
+// Items returns a copy of the elements in insertion order.
+func (l *KeyedList[K, V]) Items() []V {
+	if len(l.items) == 0 {
+		return nil
+	}
+	return append([]V(nil), l.items...)
+}
+
+// At returns the i-th element in insertion order.
+func (l *KeyedList[K, V]) At(i int) V { return l.items[i] }
+
+// Clear removes all elements.
+func (l *KeyedList[K, V]) Clear() {
+	l.items = l.items[:0]
+	for k := range l.idx {
+		delete(l.idx, k)
+	}
+}
+
+// TruncateRandom removes uniformly chosen elements until Len() <= max,
+// returning the removed elements. This is the paper's "remove random
+// element" truncation for subs, unSubs and events.
+func (l *KeyedList[K, V]) TruncateRandom(max int, r *rng.Source) []V {
+	if max < 0 {
+		max = 0
+	}
+	var removed []V
+	for len(l.items) > max {
+		i := r.Intn(len(l.items))
+		v := l.items[i]
+		delete(l.idx, l.key(v))
+		l.items = append(l.items[:i], l.items[i+1:]...)
+		removed = append(removed, v)
+	}
+	return removed
+}
+
+// TruncateOldest removes elements from the front (oldest first) until
+// Len() <= max, returning the removed elements. This is the paper's
+// "remove oldest element" truncation for eventIds.
+func (l *KeyedList[K, V]) TruncateOldest(max int) []V {
+	if max < 0 {
+		max = 0
+	}
+	if len(l.items) <= max {
+		return nil
+	}
+	n := len(l.items) - max
+	removed := append([]V(nil), l.items[:n]...)
+	for _, v := range removed {
+		delete(l.idx, l.key(v))
+	}
+	l.items = append(l.items[:0], l.items[n:]...)
+	return removed
+}
+
+// RemoveRandom removes and returns one uniformly chosen element. The second
+// result is false when the list is empty.
+func (l *KeyedList[K, V]) RemoveRandom(r *rng.Source) (V, bool) {
+	if len(l.items) == 0 {
+		var zero V
+		return zero, false
+	}
+	i := r.Intn(len(l.items))
+	v := l.items[i]
+	delete(l.idx, l.key(v))
+	l.items = append(l.items[:i], l.items[i+1:]...)
+	return v, true
+}

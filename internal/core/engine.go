@@ -1,0 +1,613 @@
+// Package core implements the lpbcast protocol engine — the paper's
+// Figure 1 pseudocode — in sans-IO style: the engine consumes incoming
+// protocol messages and clock ticks, mutates its bounded local state, and
+// returns the messages to transmit. It never touches the network or the
+// wall clock itself, so the exact same engine is driven by the
+// round-synchronous simulator (reproducing the paper's §5.1 simulations),
+// by the goroutine-per-process in-memory cluster (reproducing the §5.2
+// measurements), and by the live UDP node.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/membership"
+	"repro/internal/proto"
+	"repro/internal/rng"
+)
+
+// DigestMode selects the representation of the eventIds buffer.
+type DigestMode int
+
+const (
+	// FlatDigest is the plain bounded FIFO of identifiers whose size
+	// |eventIds|m the paper's measurements vary (Fig. 6(b)).
+	FlatDigest DigestMode = iota
+	// CompactDigest is the §3.2 optimization: per originator, a contiguous
+	// delivered watermark plus the sparse out-of-order identifiers.
+	CompactDigest
+)
+
+// String implements fmt.Stringer.
+func (m DigestMode) String() string {
+	switch m {
+	case FlatDigest:
+		return "flat"
+	case CompactDigest:
+		return "compact"
+	default:
+		return fmt.Sprintf("digestmode(%d)", int(m))
+	}
+}
+
+// Config parameterizes an engine. Field names follow the paper's notation
+// where one exists.
+type Config struct {
+	// Membership bounds the partial-view layer (l = Membership.MaxView).
+	Membership membership.Config
+	// Fanout is F: the number of gossip targets per period. Must satisfy
+	// F <= l (§4.3).
+	Fanout int
+	// MaxEvents is |events|m: the bound on notifications buffered for
+	// forwarding between two gossip emissions.
+	MaxEvents int
+	// MaxEventIDs is |eventIds|m: the bound on the delivered-identifier
+	// digest advertised in outgoing gossips. Only used with FlatDigest.
+	MaxEventIDs int
+	// DigestMode selects the advertised digest representation: FlatDigest
+	// gossips the |eventIds|m most recent identifiers (the paper's
+	// measured configuration); CompactDigest gossips per-origin watermarks
+	// plus sparse out-of-order identifiers (§3.2 optimization).
+	DigestMode DigestMode
+	// DedupMemory, when true (the default), applies the §3.2 per-sender
+	// sequence compaction to duplicate suppression: the engine remembers
+	// every delivered identifier in O(origins + out-of-order tail) space,
+	// so identifiers evicted from the advertised digest window can never
+	// be re-delivered. When false, the engine follows the Fig. 1
+	// pseudocode literally — eventIds truncation forgets old identifiers
+	// and re-arrivals may be delivered again (the approximation the paper
+	// accepts in §5.2).
+	DedupMemory bool
+	// ArchiveSize bounds the store of old notifications kept to answer
+	// retransmission requests; 0 disables retransmission serving.
+	ArchiveSize int
+	// AssumeFromDigest reproduces the paper's measurement methodology
+	// (§5.2): "once a gossip receiver has received the identifier of a
+	// notification, the notification itself is assumed to have been
+	// received". An unknown identifier in an incoming digest is delivered
+	// as a payload-less event and forwarded like any other notification.
+	AssumeFromDigest bool
+	// Retransmit enables the gossip-pull path: unknown identifiers in
+	// incoming digests are requested from the digest's sender, who answers
+	// from its archive. Mutually exclusive with AssumeFromDigest.
+	Retransmit bool
+	// MaxRetransmitPerGossip caps how many missing ids are requested per
+	// incoming gossip (0 = no cap).
+	MaxRetransmitPerGossip int
+	// MembershipEvery gossips membership information (subs/unsubs) only on
+	// every k-th emission — the §6.1 frequency experiment. 0 or 1 attaches
+	// membership to every gossip (the paper's default; §6.1 reports that
+	// k > 1 increases latency and hurts reliability).
+	MembershipEvery int
+	// WeightedEventEviction applies the §6.1 weighting idea to the events
+	// buffer ("A similar scheme could also be applied to events and
+	// eventIds"): each buffered notification tracks how many duplicate
+	// copies have arrived, and when |events|m forces an eviction the
+	// most-duplicated notification — the one most likely already widely
+	// disseminated — is dropped first instead of a uniformly random one.
+	WeightedEventEviction bool
+	// Logger, when set, implements the rpbcast-style deterministic third
+	// phase the paper sketches as future work (§7, cf. [26]): missing
+	// notifications detected via digests are requested from the dedicated
+	// logger process — whose archive is sized to hold everything — instead
+	// of the digest's sender, giving strong delivery guarantees when the
+	// logger is reachable. Requires Retransmit.
+	Logger proto.ProcessID
+}
+
+// DefaultConfig mirrors the paper's measurement setup (§5.2): F=3, l=15,
+// |eventIds|m=60.
+func DefaultConfig() Config {
+	return Config{
+		Membership:  membership.DefaultConfig(),
+		Fanout:      3,
+		MaxEvents:   30,
+		MaxEventIDs: 60,
+		ArchiveSize: 200,
+		DedupMemory: true,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Membership.Validate(); err != nil {
+		return err
+	}
+	if c.Fanout <= 0 {
+		return errors.New("core: Fanout must be positive")
+	}
+	if c.Fanout > c.Membership.MaxView {
+		return fmt.Errorf("core: Fanout %d exceeds view size %d (need F <= l)", c.Fanout, c.Membership.MaxView)
+	}
+	if c.MaxEvents <= 0 {
+		return errors.New("core: MaxEvents must be positive")
+	}
+	if c.DigestMode == FlatDigest && c.MaxEventIDs <= 0 {
+		return errors.New("core: MaxEventIDs must be positive with the flat digest")
+	}
+	if c.AssumeFromDigest && c.Retransmit {
+		return errors.New("core: AssumeFromDigest and Retransmit are mutually exclusive")
+	}
+	if c.MembershipEvery < 0 {
+		return errors.New("core: MembershipEvery must be non-negative")
+	}
+	if c.Logger != proto.NilProcess && !c.Retransmit {
+		return errors.New("core: Logger requires Retransmit")
+	}
+	return nil
+}
+
+// Stats counts engine activity. All counters are cumulative.
+type Stats struct {
+	GossipsSent        uint64
+	GossipsReceived    uint64
+	EventsPublished    uint64
+	EventsDelivered    uint64
+	DuplicatesDropped  uint64
+	AssumedFromDigest  uint64
+	RetransmitRequests uint64
+	RetransmitServed   uint64
+	RetransmitMisses   uint64
+	EventsOverflowed   uint64 // notifications evicted from events by |events|m
+}
+
+// Deliverer receives events exactly once each (LPB-DELIVER). Events
+// assumed from a digest (AssumeFromDigest) have a nil payload.
+type Deliverer func(e proto.Event)
+
+// Engine is one process's lpbcast protocol state machine.
+//
+// Engine is not safe for concurrent use; drivers serialize access.
+type Engine struct {
+	self    proto.ProcessID
+	cfg     Config
+	mem     *membership.Manager
+	events  *buffer.EventBuffer
+	flat    *buffer.IDBuffer
+	compact *buffer.CompactDigest
+	archive *buffer.Archive
+	deliver Deliverer
+	rng     *rng.Source
+
+	nextSeq      uint64
+	ticks        uint64
+	eventWeights map[proto.EventID]int // duplicate counts (weighted eviction)
+	stats        Stats
+}
+
+// New creates an engine for process self. deliver may be nil (deliveries
+// are then only counted).
+func New(self proto.ProcessID, cfg Config, deliver Deliverer, r *rng.Source) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if r == nil {
+		return nil, errors.New("core: rng source must not be nil")
+	}
+	mem, err := membership.NewManager(self, cfg.Membership, r.Split())
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		self:    self,
+		cfg:     cfg,
+		mem:     mem,
+		events:  buffer.NewEventBuffer(),
+		archive: buffer.NewArchive(cfg.ArchiveSize),
+		deliver: deliver,
+		rng:     r,
+	}
+	if cfg.DigestMode == FlatDigest {
+		e.flat = buffer.NewIDBuffer()
+	}
+	if cfg.DigestMode == CompactDigest || cfg.DedupMemory {
+		e.compact = buffer.NewCompactDigest()
+	}
+	return e, nil
+}
+
+// Self returns the engine's process id.
+func (e *Engine) Self() proto.ProcessID { return e.self }
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Stats returns a snapshot of the activity counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// View returns the current membership view (copy).
+func (e *Engine) View() []proto.ProcessID { return e.mem.View() }
+
+// Membership exposes the membership manager for diagnostics and tests.
+func (e *Engine) Membership() *membership.Manager { return e.mem }
+
+// Seed bootstraps the view with known members (used before the first
+// gossip arrives, e.g. from a static seed list).
+func (e *Engine) Seed(ps []proto.ProcessID) { e.mem.Seed(ps) }
+
+// knows reports whether id has been delivered (is in eventIds). With
+// DedupMemory the compact structure remembers every delivery; otherwise
+// only the bounded flat window does, and old identifiers are forgotten.
+func (e *Engine) knows(id proto.EventID) bool {
+	if e.compact != nil {
+		return e.compact.Contains(id)
+	}
+	return e.flat.Contains(id)
+}
+
+// record adds id to eventIds: to the advertised flat window (bounded) and,
+// when enabled, to the compact dedup memory.
+func (e *Engine) record(id proto.EventID) {
+	if e.flat != nil {
+		e.flat.Add(id)
+		e.flat.TruncateOldest(e.cfg.MaxEventIDs)
+	}
+	if e.compact != nil {
+		e.compact.Add(id)
+	}
+}
+
+// Knows reports whether the engine currently remembers delivering id.
+// Note that with the flat digest old identifiers are eventually evicted.
+func (e *Engine) Knows(id proto.EventID) bool { return e.knows(id) }
+
+// Publish broadcasts a new notification (LPB-CAST): the event receives the
+// next local sequence number, is delivered locally, and becomes eligible
+// for the next outgoing gossip.
+func (e *Engine) Publish(payload []byte) proto.Event {
+	e.nextSeq++
+	ev := proto.Event{ID: proto.EventID{Origin: e.self, Seq: e.nextSeq}}
+	if len(payload) > 0 {
+		ev.Payload = append([]byte(nil), payload...)
+	}
+	e.stats.EventsPublished++
+	e.deliverEvent(ev)
+	e.bufferForForwarding(ev)
+	return ev
+}
+
+// deliverEvent hands ev to the application and records its id.
+func (e *Engine) deliverEvent(ev proto.Event) {
+	e.stats.EventsDelivered++
+	e.record(ev.ID)
+	e.archive.Store(ev)
+	if e.deliver != nil {
+		e.deliver(ev)
+	}
+}
+
+// bufferForForwarding stages ev for the next outgoing gossip, respecting
+// |events|m. Eviction is uniformly random by default; with
+// WeightedEventEviction the most-duplicated notification goes first.
+func (e *Engine) bufferForForwarding(ev proto.Event) {
+	e.events.Add(ev)
+	if !e.cfg.WeightedEventEviction {
+		evicted := e.events.TruncateRandom(e.cfg.MaxEvents, e.rng)
+		e.stats.EventsOverflowed += uint64(len(evicted))
+		return
+	}
+	for e.events.Len() > e.cfg.MaxEvents {
+		e.evictHeaviestEvent()
+		e.stats.EventsOverflowed++
+	}
+}
+
+// evictHeaviestEvent removes the buffered notification with the highest
+// duplicate count, breaking ties uniformly.
+func (e *Engine) evictHeaviestEvent() {
+	items := e.events.Items()
+	victim := items[0].ID
+	best := e.eventWeights[victim]
+	ties := 1
+	for _, it := range items[1:] {
+		w := e.eventWeights[it.ID]
+		switch {
+		case w > best:
+			victim, best, ties = it.ID, w, 1
+		case w == best:
+			ties++
+			if e.rng.Intn(ties) == 0 {
+				victim = it.ID
+			}
+		}
+	}
+	e.events.Remove(victim)
+	delete(e.eventWeights, victim)
+}
+
+// noteDuplicate records a redundant arrival of id for weighted eviction.
+func (e *Engine) noteDuplicate(id proto.EventID) {
+	if !e.cfg.WeightedEventEviction {
+		return
+	}
+	if e.events.Contains(id) {
+		if e.eventWeights == nil {
+			e.eventWeights = make(map[proto.EventID]int)
+		}
+		e.eventWeights[id]++
+	}
+}
+
+// HandleMessage processes one incoming protocol message and returns any
+// messages to transmit in response (retransmission traffic only — gossip
+// emission is driven by Tick).
+func (e *Engine) HandleMessage(m proto.Message, now uint64) []proto.Message {
+	switch m.Kind {
+	case proto.GossipMsg:
+		if m.Gossip == nil {
+			return nil
+		}
+		return e.handleGossip(*m.Gossip, now)
+	case proto.SubscribeMsg:
+		e.handleSubscribe(m.Subscriber)
+		return nil
+	case proto.RetransmitRequestMsg:
+		return e.handleRetransmitRequest(m)
+	case proto.RetransmitReplyMsg:
+		e.handleRetransmitReply(m)
+		return nil
+	default:
+		return nil
+	}
+}
+
+// handleGossip runs the three reception phases of Fig. 1(a) plus digest
+// processing.
+func (e *Engine) handleGossip(g proto.Gossip, now uint64) []proto.Message {
+	e.stats.GossipsReceived++
+
+	// Phase 1: unsubscriptions update view and unSubs.
+	e.mem.ApplyUnsubs(g.Unsubs, now)
+
+	// Phase 2: subscriptions update view and subs.
+	e.mem.ApplySubs(g.Subs)
+
+	// Phase 3: fresh notifications are delivered and staged for forwarding.
+	for _, ev := range g.Events {
+		if !validID(ev.ID) {
+			continue // malformed: sequence numbers start at 1
+		}
+		if e.knows(ev.ID) {
+			e.stats.DuplicatesDropped++
+			e.noteDuplicate(ev.ID)
+			continue
+		}
+		e.deliverEvent(ev.Clone())
+		e.bufferForForwarding(ev.Clone())
+	}
+
+	// Digest: watermark entries (compact mode) then individual ids.
+	var missing []proto.EventID
+	seen := func(id proto.EventID) {
+		if !validID(id) || e.knows(id) {
+			return
+		}
+		switch {
+		case e.cfg.AssumeFromDigest:
+			// §5.2 methodology: the identifier counts as the notification.
+			e.stats.AssumedFromDigest++
+			ev := proto.Event{ID: id}
+			e.deliverEvent(ev)
+			e.bufferForForwarding(ev)
+		case e.cfg.Retransmit:
+			if e.cfg.MaxRetransmitPerGossip == 0 || len(missing) < e.cfg.MaxRetransmitPerGossip {
+				missing = append(missing, id)
+			}
+		}
+	}
+	for _, wm := range g.DigestWatermarks {
+		// A watermark advertises every sequence number up to wm.Seq; only
+		// chase the ones we do not know, bounded to avoid unbounded loops
+		// on a hostile or corrupt watermark.
+		e.expandWatermark(wm, seen)
+	}
+	for _, id := range g.Digest {
+		seen(id)
+	}
+
+	if len(missing) == 0 {
+		return nil
+	}
+	e.stats.RetransmitRequests += uint64(len(missing))
+	// rpbcast-style third phase: pull from the dedicated logger when one
+	// is configured (and we are not it), otherwise from the gossip sender.
+	server := g.From
+	if e.cfg.Logger != proto.NilProcess && e.cfg.Logger != e.self {
+		server = e.cfg.Logger
+	}
+	return []proto.Message{{
+		Kind:    proto.RetransmitRequestMsg,
+		From:    e.self,
+		To:      server,
+		Request: missing,
+	}}
+}
+
+// maxWatermarkExpansion bounds how many unknown sequence numbers a single
+// watermark entry may fan out into.
+const maxWatermarkExpansion = 1024
+
+// expandWatermark walks the unknown identifiers advertised by a compact
+// watermark entry, newest first so that recent events win the expansion
+// budget.
+func (e *Engine) expandWatermark(wm proto.EventID, seen func(proto.EventID)) {
+	budget := maxWatermarkExpansion
+	for seq := wm.Seq; seq >= 1 && budget > 0; seq-- {
+		id := proto.EventID{Origin: wm.Origin, Seq: seq}
+		if e.knows(id) {
+			// The compact digest is contiguous below the local watermark,
+			// so the first known id ends the unknown suffix.
+			if e.compact != nil && seq <= e.compact.Watermark(wm.Origin) {
+				return
+			}
+			continue
+		}
+		seen(id)
+		budget--
+	}
+}
+
+// handleSubscribe processes a join request (§3.4): the subscription enters
+// the view and the subs buffer, so it is gossiped "on behalf of" the
+// joining process.
+func (e *Engine) handleSubscribe(p proto.ProcessID) {
+	if p == e.self || p == proto.NilProcess {
+		return
+	}
+	e.mem.ApplySubs([]proto.ProcessID{p})
+}
+
+// handleRetransmitRequest answers from the archive.
+func (e *Engine) handleRetransmitRequest(m proto.Message) []proto.Message {
+	var reply []proto.Event
+	for _, id := range m.Request {
+		if ev, ok := e.archive.Lookup(id); ok {
+			reply = append(reply, ev.Clone())
+			e.stats.RetransmitServed++
+		} else {
+			e.stats.RetransmitMisses++
+		}
+	}
+	if len(reply) == 0 {
+		return nil
+	}
+	return []proto.Message{{
+		Kind:  proto.RetransmitReplyMsg,
+		From:  e.self,
+		To:    m.From,
+		Reply: reply,
+	}}
+}
+
+// handleRetransmitReply delivers retransmitted notifications like phase 3.
+func (e *Engine) handleRetransmitReply(m proto.Message) {
+	for _, ev := range m.Reply {
+		if !validID(ev.ID) {
+			continue
+		}
+		if e.knows(ev.ID) {
+			e.stats.DuplicatesDropped++
+			continue
+		}
+		e.deliverEvent(ev.Clone())
+		e.bufferForForwarding(ev.Clone())
+	}
+}
+
+// validID reports whether id is well-formed: a real originator and a
+// sequence number ≥ 1 (seq 0 is reserved so per-sender watermarks have a
+// natural zero).
+func validID(id proto.EventID) bool {
+	return id.Origin != proto.NilProcess && id.Seq > 0
+}
+
+// Tick performs one periodic gossip emission (Fig. 1(b)): build the gossip
+// message, send it to F random view members, then clear events. Gossiping
+// happens even with no fresh notifications, keeping digests and membership
+// information flowing. now is the current deployment time (rounds or ms).
+func (e *Engine) Tick(now uint64) []proto.Message {
+	e.ticks++
+	targets := e.mem.Targets(e.cfg.Fanout)
+	if len(targets) == 0 {
+		return nil
+	}
+	g := proto.Gossip{
+		From:   e.self,
+		Events: e.events.Items(),
+		Digest: e.digestIDs(),
+	}
+	if k := e.cfg.MembershipEvery; k <= 1 || e.ticks%uint64(k) == 0 {
+		g.Subs = e.mem.MakeSubs()
+		g.Unsubs = e.mem.MakeUnsubs(now)
+	}
+	if e.cfg.DigestMode == CompactDigest {
+		g.DigestWatermarks = e.watermarks()
+	}
+	msgs := make([]proto.Message, 0, len(targets))
+	for _, t := range targets {
+		gc := g.Clone()
+		msgs = append(msgs, proto.Message{
+			Kind:   proto.GossipMsg,
+			From:   e.self,
+			To:     t,
+			Gossip: &gc,
+		})
+	}
+	e.stats.GossipsSent += uint64(len(msgs))
+	// "events ← ∅" — each notification is gossiped at most once by this
+	// process; older copies live only in the archive.
+	e.events.Clear()
+	e.eventWeights = nil
+	return msgs
+}
+
+// digestIDs returns the identifier digest to attach to an outgoing gossip.
+func (e *Engine) digestIDs() []proto.EventID {
+	if e.cfg.DigestMode == CompactDigest {
+		var out []proto.EventID
+		for _, entry := range e.compact.Summary() {
+			for _, seq := range entry.Sparse {
+				out = append(out, proto.EventID{Origin: entry.Origin, Seq: seq})
+			}
+		}
+		return out
+	}
+	return e.flat.IDs()
+}
+
+// watermarks encodes the compact digest's per-origin watermarks.
+func (e *Engine) watermarks() []proto.EventID {
+	var out []proto.EventID
+	for _, entry := range e.compact.Summary() {
+		if entry.Watermark > 0 {
+			out = append(out, proto.EventID{Origin: entry.Origin, Seq: entry.Watermark})
+		}
+	}
+	return out
+}
+
+// JoinVia returns the subscription request a joining process sends to a
+// known member pj (§3.4). The caller transmits it and should retry on
+// timeout until gossip starts arriving.
+func (e *Engine) JoinVia(contact proto.ProcessID) (proto.Message, error) {
+	if contact == e.self || contact == proto.NilProcess {
+		return proto.Message{}, fmt.Errorf("core: invalid join contact %v", contact)
+	}
+	e.mem.Seed([]proto.ProcessID{contact})
+	return proto.Message{
+		Kind:       proto.SubscribeMsg,
+		From:       e.self,
+		To:         contact,
+		Subscriber: e.self,
+	}, nil
+}
+
+// Unsubscribe starts this process's departure (§3.4). The unsubscription
+// spreads with subsequent Ticks; the process should keep gossiping for a
+// grace period before going silent.
+func (e *Engine) Unsubscribe(now uint64) error { return e.mem.Unsubscribe(now) }
+
+// PendingEvents returns the notifications staged for the next gossip
+// (diagnostics).
+func (e *Engine) PendingEvents() int { return e.events.Len() }
+
+// DigestLen returns the current number of identifiers the advertised
+// digest retains (flat: windowed ids; compact: sparse ids only).
+func (e *Engine) DigestLen() int {
+	if e.cfg.DigestMode == CompactDigest {
+		return e.compact.SparseLen()
+	}
+	return e.flat.Len()
+}

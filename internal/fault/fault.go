@@ -1,0 +1,156 @@
+// Package fault provides the failure models of the paper's system model
+// (§4.1): stochastically independent message loss bounded by ε, and
+// process crashes bounded by a fraction τ of the system per run. Burst
+// loss and scheduled crashes extend the model for the WAN example and the
+// failure-injection tests.
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/proto"
+	"repro/internal/rng"
+)
+
+// LossModel decides, per message, whether the network drops it.
+type LossModel interface {
+	// Drop reports whether a message from src to dst at time now is lost.
+	Drop(src, dst proto.ProcessID, now uint64) bool
+}
+
+// NoLoss never drops messages.
+type NoLoss struct{}
+
+// Drop implements LossModel.
+func (NoLoss) Drop(_, _ proto.ProcessID, _ uint64) bool { return false }
+
+// Bernoulli drops each message independently with probability Epsilon —
+// the paper's ε (0.05 in all experiments).
+type Bernoulli struct {
+	Epsilon float64
+	Rand    *rng.Source
+}
+
+// NewBernoulli creates a Bernoulli loss model.
+func NewBernoulli(epsilon float64, r *rng.Source) *Bernoulli {
+	return &Bernoulli{Epsilon: epsilon, Rand: r}
+}
+
+// Drop implements LossModel.
+func (b *Bernoulli) Drop(_, _ proto.ProcessID, _ uint64) bool {
+	return b.Rand.Bool(b.Epsilon)
+}
+
+// Burst alternates between a good state with loss pGood and a bad state
+// with loss pBad (a two-state Gilbert–Elliott channel), transitioning with
+// the given per-message probabilities. It models correlated WAN loss.
+type Burst struct {
+	pGood, pBad           float64
+	toBadProb, toGoodProb float64
+	bad                   bool
+	rand                  *rng.Source
+}
+
+// NewBurst creates a Gilbert–Elliott loss model starting in the good state.
+func NewBurst(pGood, pBad, toBad, toGood float64, r *rng.Source) *Burst {
+	return &Burst{pGood: pGood, pBad: pBad, toBadProb: toBad, toGoodProb: toGood, rand: r}
+}
+
+// Drop implements LossModel.
+func (b *Burst) Drop(_, _ proto.ProcessID, _ uint64) bool {
+	if b.bad {
+		if b.rand.Bool(b.toGoodProb) {
+			b.bad = false
+		}
+	} else if b.rand.Bool(b.toBadProb) {
+		b.bad = true
+	}
+	if b.bad {
+		return b.rand.Bool(b.pBad)
+	}
+	return b.rand.Bool(b.pGood)
+}
+
+// InBadState reports whether the channel is currently bursting.
+func (b *Burst) InBadState() bool { return b.bad }
+
+// CrashSchedule decides which processes are crashed at a given time.
+type CrashSchedule struct {
+	crashAt map[proto.ProcessID]uint64
+}
+
+// NewCrashSchedule creates an empty schedule (nobody ever crashes).
+func NewCrashSchedule() *CrashSchedule {
+	return &CrashSchedule{crashAt: make(map[proto.ProcessID]uint64)}
+}
+
+// CrashAt schedules p to crash at time t (inclusive). Crashed processes do
+// not recover (§4.1: "We do not take into account the recovery of crashed
+// processes").
+func (s *CrashSchedule) CrashAt(p proto.ProcessID, t uint64) {
+	if cur, ok := s.crashAt[p]; !ok || t < cur {
+		s.crashAt[p] = t
+	}
+}
+
+// Crashed reports whether p is crashed at time now.
+func (s *CrashSchedule) Crashed(p proto.ProcessID, now uint64) bool {
+	t, ok := s.crashAt[p]
+	return ok && now >= t
+}
+
+// CrashedCount returns how many processes are crashed at time now.
+func (s *CrashSchedule) CrashedCount(now uint64) int {
+	n := 0
+	for _, t := range s.crashAt {
+		if now >= t {
+			n++
+		}
+	}
+	return n
+}
+
+// CrashedProcesses returns the sorted ids crashed at time now.
+func (s *CrashSchedule) CrashedProcesses(now uint64) []proto.ProcessID {
+	var out []proto.ProcessID
+	for p, t := range s.crashAt {
+		if now >= t {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SampleCrashes schedules a fraction tau of processes (chosen uniformly
+// without replacement) to crash at uniformly random times in [0, horizon].
+// This realizes the paper's τ = f/n crash bound for a run of the given
+// horizon. It returns the processes selected.
+func (s *CrashSchedule) SampleCrashes(processes []proto.ProcessID, tau float64, horizon uint64, r *rng.Source) []proto.ProcessID {
+	if tau <= 0 || len(processes) == 0 {
+		return nil
+	}
+	f := int(tau * float64(len(processes)))
+	if f <= 0 {
+		return nil
+	}
+	idxs := r.Sample(len(processes), f)
+	out := make([]proto.ProcessID, 0, len(idxs))
+	for _, i := range idxs {
+		p := processes[i]
+		t := uint64(0)
+		if horizon > 0 {
+			t = uint64(r.Intn(int(horizon) + 1))
+		}
+		s.CrashAt(p, t)
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String implements fmt.Stringer.
+func (s *CrashSchedule) String() string {
+	return fmt.Sprintf("crashes(%d scheduled)", len(s.crashAt))
+}

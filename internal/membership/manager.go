@@ -1,0 +1,309 @@
+package membership
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/proto"
+	"repro/internal/rng"
+)
+
+// Policy selects the view truncation strategy.
+type Policy int
+
+// Truncation policies.
+const (
+	// Uniform is the paper's default: evict uniformly random entries.
+	Uniform Policy = iota
+	// Weighted is the §6.1 heuristic: evict high-awareness entries first
+	// and prefer announcing low-awareness entries in outgoing subs.
+	Weighted
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case Uniform:
+		return "uniform"
+	case Weighted:
+		return "weighted"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Config bounds the membership buffers. The zero value is not useful; use
+// DefaultConfig as a base.
+type Config struct {
+	// MaxView is l, the maximum view size (|view|m).
+	MaxView int
+	// MaxSubs bounds the subs buffer (|subs|m).
+	MaxSubs int
+	// MaxUnsubs bounds the unSubs buffer (|unSubs|m).
+	MaxUnsubs int
+	// UnsubTTL is how long (in deployment time units) an unsubscription
+	// keeps circulating before it becomes obsolete (§3.4).
+	UnsubTTL uint64
+	// UnsubRefusalLen refuses a local unsubscription while the local
+	// unSubs buffer holds at least this many entries (§3.4), increasing
+	// the chance the unsubscription actually propagates. Zero disables
+	// the refusal rule.
+	UnsubRefusalLen int
+	// Policy selects the truncation strategy.
+	Policy Policy
+	// Prioritary processes are "a very limited set ... constantly known by
+	// each process" (§4.4), used for bootstrap and to normalize views.
+	// They are merged into the view and never evicted by truncation.
+	Prioritary []proto.ProcessID
+}
+
+// DefaultConfig mirrors the paper's measurement setup: l=15 view entries,
+// subs/unsubs buffers sized like the view.
+func DefaultConfig() Config {
+	return Config{
+		MaxView:         15,
+		MaxSubs:         15,
+		MaxUnsubs:       15,
+		UnsubTTL:        50,
+		UnsubRefusalLen: 10,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.MaxView <= 0 {
+		return errors.New("membership: MaxView must be positive")
+	}
+	if c.MaxSubs <= 0 {
+		return errors.New("membership: MaxSubs must be positive")
+	}
+	if c.MaxUnsubs <= 0 {
+		return errors.New("membership: MaxUnsubs must be positive")
+	}
+	if len(c.Prioritary) >= c.MaxView {
+		return fmt.Errorf("membership: %d prioritary processes do not fit a view of %d", len(c.Prioritary), c.MaxView)
+	}
+	return nil
+}
+
+// Manager owns one process's membership state: the partial view and the
+// subs/unSubs forwarding buffers, implementing phases 1 and 2 of gossip
+// reception (Fig. 1(a)) and the membership part of emission (Fig. 1(b)).
+//
+// Manager is not safe for concurrent use; the protocol engine serializes
+// access.
+type Manager struct {
+	self   proto.ProcessID
+	cfg    Config
+	view   *View
+	subs   *buffer.PIDList
+	unsubs *buffer.UnsubList
+	keep   map[proto.ProcessID]bool
+	rng    *rng.Source
+
+	unsubscribed bool
+}
+
+// NewManager creates a membership manager for process self. The prioritary
+// processes from cfg are pre-inserted into the view.
+func NewManager(self proto.ProcessID, cfg Config, r *rng.Source) (*Manager, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if self == proto.NilProcess {
+		return nil, errors.New("membership: self must be a valid process id")
+	}
+	if r == nil {
+		return nil, errors.New("membership: rng source must not be nil")
+	}
+	m := &Manager{
+		self:   self,
+		cfg:    cfg,
+		view:   NewView(self),
+		subs:   buffer.NewPIDList(),
+		unsubs: buffer.NewUnsubList(),
+		keep:   make(map[proto.ProcessID]bool, len(cfg.Prioritary)),
+		rng:    r,
+	}
+	for _, p := range cfg.Prioritary {
+		if p != self {
+			m.keep[p] = true
+			m.view.Add(p)
+		}
+	}
+	return m, nil
+}
+
+// Self returns the owning process id.
+func (m *Manager) Self() proto.ProcessID { return m.self }
+
+// Config returns the manager's configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// View returns the current view members (copy).
+func (m *Manager) View() []proto.ProcessID { return m.view.Processes() }
+
+// ViewLen returns the current view size.
+func (m *Manager) ViewLen() int { return m.view.Len() }
+
+// ViewContains reports whether p is currently in the view.
+func (m *Manager) ViewContains(p proto.ProcessID) bool { return m.view.Contains(p) }
+
+// ViewEntries exposes the weighted entries (copy) for diagnostics.
+func (m *Manager) ViewEntries() []Entry { return m.view.Entries() }
+
+// Seed merges bootstrap members into the view (used at join time, before
+// any gossip has been received), truncating to the view bound. Members
+// evicted by the truncation spill into subs, which is bounded in turn.
+func (m *Manager) Seed(ps []proto.ProcessID) {
+	for _, p := range ps {
+		m.view.Add(p)
+	}
+	m.truncateView()
+	m.truncateSubs()
+}
+
+// ApplyUnsubs executes phase 1 of gossip reception: remove unsubscribed
+// processes from the view, buffer the unsubscriptions for forwarding, and
+// truncate the buffer randomly. Obsolete unsubscriptions (older than the
+// TTL relative to now) are ignored and expired.
+func (m *Manager) ApplyUnsubs(unsubs []proto.Unsubscription, now uint64) {
+	for _, u := range unsubs {
+		if u.Process == m.self {
+			// Somebody is circulating our own unsubscription; if we are
+			// still subscribed we do not remove ourselves, and we do not
+			// forward it either.
+			if !m.unsubscribed {
+				continue
+			}
+		}
+		if m.cfg.UnsubTTL > 0 && now >= m.cfg.UnsubTTL && u.Stamp < now-m.cfg.UnsubTTL {
+			continue // obsolete
+		}
+		m.view.Remove(u.Process)
+		m.subs.Remove(u.Process)
+		m.unsubs.Add(u)
+	}
+	m.unsubs.Expire(now, m.cfg.UnsubTTL)
+	m.unsubs.TruncateRandom(m.cfg.MaxUnsubs, m.rng)
+}
+
+// ApplySubs executes phase 2 of gossip reception: merge new subscriptions
+// into the view and the subs forwarding buffer, truncate the view to l
+// moving evicted members into subs, and truncate subs randomly. In the
+// Weighted policy, re-announced known processes get their awareness weight
+// bumped.
+func (m *Manager) ApplySubs(subs []proto.ProcessID) {
+	for _, p := range subs {
+		if p == m.self || p == proto.NilProcess {
+			continue
+		}
+		if m.view.Contains(p) {
+			if m.cfg.Policy == Weighted {
+				m.view.Bump(p)
+			}
+			continue
+		}
+		m.view.Add(p)
+		m.subs.Add(p)
+	}
+	m.truncateView()
+	m.truncateSubs()
+}
+
+// truncateView enforces |view| <= l, moving evictees into subs so they
+// remain "eligible for being forwarded with the next gossip" (Fig. 1(a)).
+func (m *Manager) truncateView() {
+	var removed []proto.ProcessID
+	if m.cfg.Policy == Weighted {
+		removed = m.view.TruncateWeighted(m.cfg.MaxView, m.keep, m.rng)
+	} else {
+		removed = m.view.TruncateUniform(m.cfg.MaxView, m.keep, m.rng)
+	}
+	for _, p := range removed {
+		m.subs.Add(p)
+	}
+}
+
+// truncateSubs enforces |subs| <= |subs|m. Under the Weighted policy,
+// high-weight (well known) entries are dropped first so that outgoing subs
+// favour poorly-known processes (§6.1); under Uniform, victims are random.
+func (m *Manager) truncateSubs() {
+	if m.cfg.Policy != Weighted {
+		m.subs.TruncateRandom(m.cfg.MaxSubs, m.rng)
+		return
+	}
+	for m.subs.Len() > m.cfg.MaxSubs {
+		items := m.subs.Items()
+		victim := items[0]
+		best := m.view.Weight(victim)
+		ties := 1
+		for _, p := range items[1:] {
+			w := m.view.Weight(p)
+			switch {
+			case w > best:
+				victim, best, ties = p, w, 1
+			case w == best:
+				ties++
+				if m.rng.Intn(ties) == 0 {
+					victim = p
+				}
+			}
+		}
+		m.subs.Remove(victim)
+	}
+}
+
+// MakeSubs builds the subscriptions to attach to an outgoing gossip:
+// the buffered subs plus the sender itself (Fig. 1(b): "gossip.subs ←
+// subs ∪ {pi}"). The returned slice is freshly allocated.
+func (m *Manager) MakeSubs() []proto.ProcessID {
+	out := make([]proto.ProcessID, 0, m.subs.Len()+1)
+	if !m.unsubscribed {
+		out = append(out, m.self)
+	}
+	out = append(out, m.subs.Items()...)
+	return out
+}
+
+// MakeUnsubs builds the unsubscriptions to attach to an outgoing gossip,
+// after expiring obsolete entries.
+func (m *Manager) MakeUnsubs(now uint64) []proto.Unsubscription {
+	m.unsubs.Expire(now, m.cfg.UnsubTTL)
+	return m.unsubs.Items()
+}
+
+// Targets picks f distinct gossip targets uniformly from the view.
+func (m *Manager) Targets(f int) []proto.ProcessID {
+	return m.view.Pick(f, m.rng)
+}
+
+// RemoveFromView drops p (e.g. after repeated send failures in a live
+// deployment). It reports whether p was present.
+func (m *Manager) RemoveFromView(p proto.ProcessID) bool { return m.view.Remove(p) }
+
+// ErrUnsubRefused is returned by Unsubscribe while the local unSubs buffer
+// is too full for the local unsubscription to survive truncation (§3.4).
+var ErrUnsubRefused = errors.New("membership: unsubscription refused, unSubs buffer too full")
+
+// Unsubscribe starts this process's departure: its unsubscription is
+// buffered (stamped now) so subsequent gossips spread it. Per §3.4 the
+// request is refused while the local buffer exceeds the configured bound.
+func (m *Manager) Unsubscribe(now uint64) error {
+	if m.cfg.UnsubRefusalLen > 0 && m.unsubs.Len() >= m.cfg.UnsubRefusalLen {
+		return ErrUnsubRefused
+	}
+	m.unsubscribed = true
+	m.unsubs.Add(proto.Unsubscription{Process: m.self, Stamp: now})
+	return nil
+}
+
+// Unsubscribed reports whether this process has started leaving.
+func (m *Manager) Unsubscribed() bool { return m.unsubscribed }
+
+// SubsLen returns the current subs buffer size (diagnostics).
+func (m *Manager) SubsLen() int { return m.subs.Len() }
+
+// UnsubsLen returns the current unSubs buffer size (diagnostics).
+func (m *Manager) UnsubsLen() int { return m.unsubs.Len() }

@@ -1,0 +1,312 @@
+package membership
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/proto"
+	"repro/internal/rng"
+)
+
+func newTestManager(t *testing.T, cfg Config) *Manager {
+	t.Helper()
+	m, err := NewManager(1, cfg, rng.New(42))
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	return m
+}
+
+func TestNewManagerValidation(t *testing.T) {
+	t.Parallel()
+	r := rng.New(1)
+	cases := []struct {
+		name string
+		self proto.ProcessID
+		cfg  Config
+		rng  *rng.Source
+	}{
+		{"zero config", 1, Config{}, r},
+		{"nil self", proto.NilProcess, DefaultConfig(), r},
+		{"nil rng", 1, DefaultConfig(), nil},
+		{"negative view", 1, Config{MaxView: -1, MaxSubs: 1, MaxUnsubs: 1}, r},
+		{"no subs room", 1, Config{MaxView: 5, MaxSubs: 0, MaxUnsubs: 1}, r},
+		{"no unsubs room", 1, Config{MaxView: 5, MaxSubs: 1, MaxUnsubs: 0}, r},
+		{"too many prioritary", 1, Config{MaxView: 2, MaxSubs: 1, MaxUnsubs: 1,
+			Prioritary: []proto.ProcessID{2, 3}}, r},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			if _, err := NewManager(c.self, c.cfg, c.rng); err == nil {
+				t.Errorf("NewManager(%+v) succeeded, want error", c.cfg)
+			}
+		})
+	}
+}
+
+func TestSeedTruncates(t *testing.T) {
+	t.Parallel()
+	cfg := DefaultConfig()
+	cfg.MaxView = 5
+	m := newTestManager(t, cfg)
+	seeds := make([]proto.ProcessID, 20)
+	for i := range seeds {
+		seeds[i] = proto.ProcessID(i + 2)
+	}
+	m.Seed(seeds)
+	if m.ViewLen() != 5 {
+		t.Fatalf("view size = %d, want 5", m.ViewLen())
+	}
+}
+
+func TestApplySubsAddsAndTruncates(t *testing.T) {
+	t.Parallel()
+	cfg := DefaultConfig()
+	cfg.MaxView = 3
+	cfg.MaxSubs = 4
+	m := newTestManager(t, cfg)
+	m.ApplySubs([]proto.ProcessID{2, 3, 4, 5, 6, 1 /* self ignored */, proto.NilProcess})
+	if m.ViewLen() != 3 {
+		t.Fatalf("view size = %d, want 3", m.ViewLen())
+	}
+	if m.ViewContains(1) {
+		t.Fatal("self in view")
+	}
+	if m.SubsLen() > cfg.MaxSubs {
+		t.Fatalf("subs size = %d exceeds bound %d", m.SubsLen(), cfg.MaxSubs)
+	}
+	// Evicted view entries must be in subs: everything seen is either in
+	// view or (if evicted and subs has room) in subs.
+	inView := map[proto.ProcessID]bool{}
+	for _, p := range m.View() {
+		inView[p] = true
+	}
+	if len(inView) != 3 {
+		t.Fatalf("view = %v", m.View())
+	}
+}
+
+func TestApplySubsSelfNeverAdded(t *testing.T) {
+	t.Parallel()
+	m := newTestManager(t, DefaultConfig())
+	for i := 0; i < 100; i++ {
+		m.ApplySubs([]proto.ProcessID{1})
+	}
+	if m.ViewLen() != 0 || m.SubsLen() != 0 {
+		t.Fatal("self leaked into view or subs")
+	}
+}
+
+func TestApplyUnsubsRemovesFromView(t *testing.T) {
+	t.Parallel()
+	m := newTestManager(t, DefaultConfig())
+	m.ApplySubs([]proto.ProcessID{2, 3, 4})
+	m.ApplyUnsubs([]proto.Unsubscription{{Process: 3, Stamp: 10}}, 10)
+	if m.ViewContains(3) {
+		t.Fatal("unsubscribed process still in view")
+	}
+	if m.UnsubsLen() != 1 {
+		t.Fatalf("unsubs len = %d, want 1", m.UnsubsLen())
+	}
+	// The unsubscription must be forwarded.
+	us := m.MakeUnsubs(10)
+	if len(us) != 1 || us[0].Process != 3 {
+		t.Fatalf("MakeUnsubs = %v", us)
+	}
+}
+
+func TestApplyUnsubsObsoleteIgnored(t *testing.T) {
+	t.Parallel()
+	cfg := DefaultConfig()
+	cfg.UnsubTTL = 50
+	m := newTestManager(t, cfg)
+	m.ApplySubs([]proto.ProcessID{2})
+	m.ApplyUnsubs([]proto.Unsubscription{{Process: 2, Stamp: 10}}, 100)
+	if !m.ViewContains(2) {
+		t.Fatal("obsolete unsubscription was applied")
+	}
+	if m.UnsubsLen() != 0 {
+		t.Fatal("obsolete unsubscription buffered")
+	}
+}
+
+func TestApplyUnsubsIgnoresOwnWhileSubscribed(t *testing.T) {
+	t.Parallel()
+	m := newTestManager(t, DefaultConfig())
+	m.ApplyUnsubs([]proto.Unsubscription{{Process: 1, Stamp: 5}}, 5)
+	if m.UnsubsLen() != 0 {
+		t.Fatal("own unsubscription forwarded while still subscribed")
+	}
+	us := m.MakeUnsubs(5)
+	if len(us) != 0 {
+		t.Fatalf("MakeUnsubs = %v", us)
+	}
+}
+
+func TestMakeSubsIncludesSelf(t *testing.T) {
+	t.Parallel()
+	m := newTestManager(t, DefaultConfig())
+	m.ApplySubs([]proto.ProcessID{2})
+	subs := m.MakeSubs()
+	if len(subs) != 2 || subs[0] != 1 {
+		t.Fatalf("MakeSubs = %v, want [1 2]", subs)
+	}
+}
+
+func TestMakeSubsAfterUnsubscribe(t *testing.T) {
+	t.Parallel()
+	m := newTestManager(t, DefaultConfig())
+	if err := m.Unsubscribe(10); err != nil {
+		t.Fatalf("Unsubscribe: %v", err)
+	}
+	if !m.Unsubscribed() {
+		t.Fatal("Unsubscribed() = false")
+	}
+	subs := m.MakeSubs()
+	for _, p := range subs {
+		if p == 1 {
+			t.Fatal("unsubscribed process still announces itself")
+		}
+	}
+	us := m.MakeUnsubs(10)
+	if len(us) != 1 || us[0].Process != 1 || us[0].Stamp != 10 {
+		t.Fatalf("MakeUnsubs = %v", us)
+	}
+}
+
+func TestUnsubscribeRefusal(t *testing.T) {
+	t.Parallel()
+	cfg := DefaultConfig()
+	cfg.UnsubRefusalLen = 2
+	cfg.UnsubTTL = 1000
+	m := newTestManager(t, cfg)
+	m.ApplyUnsubs([]proto.Unsubscription{
+		{Process: 5, Stamp: 1},
+		{Process: 6, Stamp: 1},
+	}, 1)
+	err := m.Unsubscribe(2)
+	if !errors.Is(err, ErrUnsubRefused) {
+		t.Fatalf("Unsubscribe = %v, want ErrUnsubRefused", err)
+	}
+	if m.Unsubscribed() {
+		t.Fatal("refused unsubscription still marked the process as leaving")
+	}
+}
+
+func TestTargetsDistinct(t *testing.T) {
+	t.Parallel()
+	m := newTestManager(t, DefaultConfig())
+	m.ApplySubs([]proto.ProcessID{2, 3, 4, 5, 6, 7, 8})
+	ts := m.Targets(3)
+	if len(ts) != 3 {
+		t.Fatalf("Targets(3) = %v", ts)
+	}
+	seen := map[proto.ProcessID]bool{}
+	for _, p := range ts {
+		if seen[p] {
+			t.Fatalf("duplicate target in %v", ts)
+		}
+		seen[p] = true
+	}
+}
+
+func TestPrioritaryPreInsertedAndProtected(t *testing.T) {
+	t.Parallel()
+	cfg := DefaultConfig()
+	cfg.MaxView = 3
+	cfg.Prioritary = []proto.ProcessID{100, 101}
+	m := newTestManager(t, cfg)
+	if !m.ViewContains(100) || !m.ViewContains(101) {
+		t.Fatal("prioritary processes not pre-inserted")
+	}
+	// Flood with subscriptions: prioritaries must survive every truncation.
+	for i := uint64(2); i < 50; i++ {
+		m.ApplySubs([]proto.ProcessID{proto.ProcessID(i)})
+	}
+	if !m.ViewContains(100) || !m.ViewContains(101) {
+		t.Fatal("prioritary process evicted")
+	}
+	if m.ViewLen() != 3 {
+		t.Fatalf("view size = %d, want 3", m.ViewLen())
+	}
+}
+
+func TestWeightedPolicyBumpsAndEvictsHeavy(t *testing.T) {
+	t.Parallel()
+	cfg := DefaultConfig()
+	cfg.MaxView = 3
+	cfg.Policy = Weighted
+	m := newTestManager(t, cfg)
+	m.ApplySubs([]proto.ProcessID{2, 3, 4})
+	// Re-announce 2 many times: it becomes the best-known entry.
+	for i := 0; i < 10; i++ {
+		m.ApplySubs([]proto.ProcessID{2})
+	}
+	// Adding a 4th entry forces eviction of exactly the heavy one.
+	m.ApplySubs([]proto.ProcessID{5})
+	if m.ViewContains(2) {
+		t.Fatal("heaviest entry survived weighted truncation")
+	}
+	for _, p := range []proto.ProcessID{3, 4, 5} {
+		if !m.ViewContains(p) {
+			t.Fatalf("light entry %v evicted", p)
+		}
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	t.Parallel()
+	if Uniform.String() != "uniform" || Weighted.String() != "weighted" {
+		t.Error("Policy.String wrong")
+	}
+	if Policy(9).String() != "policy(9)" {
+		t.Error("unknown policy string wrong")
+	}
+}
+
+func TestViewNeverExceedsBoundUnderChurn(t *testing.T) {
+	t.Parallel()
+	cfg := DefaultConfig()
+	cfg.MaxView = 7
+	m := newTestManager(t, cfg)
+	r := rng.New(99)
+	now := uint64(0)
+	for step := 0; step < 2000; step++ {
+		now++
+		switch r.Intn(3) {
+		case 0:
+			subs := make([]proto.ProcessID, 1+r.Intn(5))
+			for i := range subs {
+				subs[i] = proto.ProcessID(2 + r.Intn(60))
+			}
+			m.ApplySubs(subs)
+		case 1:
+			m.ApplyUnsubs([]proto.Unsubscription{
+				{Process: proto.ProcessID(2 + r.Intn(60)), Stamp: now},
+			}, now)
+		case 2:
+			_ = m.MakeSubs()
+			_ = m.MakeUnsubs(now)
+		}
+		if m.ViewLen() > cfg.MaxView {
+			t.Fatalf("step %d: view %d exceeds bound %d", step, m.ViewLen(), cfg.MaxView)
+		}
+		if m.SubsLen() > cfg.MaxSubs {
+			t.Fatalf("step %d: subs %d exceeds bound %d", step, m.SubsLen(), cfg.MaxSubs)
+		}
+		if m.UnsubsLen() > cfg.MaxUnsubs {
+			t.Fatalf("step %d: unsubs %d exceeds bound %d", step, m.UnsubsLen(), cfg.MaxUnsubs)
+		}
+	}
+}
+
+func TestRemoveFromView(t *testing.T) {
+	t.Parallel()
+	m := newTestManager(t, DefaultConfig())
+	m.ApplySubs([]proto.ProcessID{2})
+	if !m.RemoveFromView(2) || m.RemoveFromView(2) {
+		t.Fatal("RemoveFromView behaviour wrong")
+	}
+}

@@ -1,0 +1,135 @@
+package membership
+
+import (
+	"sort"
+
+	"repro/internal/proto"
+)
+
+// Overlay-quality metrics. The paper's §6.1 argues view quality through
+// the in-degree distribution; these complement it with the two standard
+// overlay statistics — average shortest-path length (drives dissemination
+// latency) and clustering coefficient (drives redundant gossip): a healthy
+// lpbcast overlay looks like a random graph with degree l — short paths,
+// low clustering.
+
+// AveragePathLength returns the mean shortest-path length between ordered
+// reachable pairs in the directed view graph, and the eccentricity-style
+// diameter (longest shortest path found). Unreachable pairs are excluded;
+// the boolean reports whether every ordered pair was reachable.
+func (g Graph) AveragePathLength() (mean float64, diameter int, connected bool) {
+	nodes := g.nodes()
+	if len(nodes) < 2 {
+		return 0, 0, true
+	}
+	totalDist, pairs := 0, 0
+	connected = true
+	for _, src := range nodes {
+		dist := g.bfs(src)
+		for _, dst := range nodes {
+			if dst == src {
+				continue
+			}
+			d, ok := dist[dst]
+			if !ok {
+				connected = false
+				continue
+			}
+			totalDist += d
+			pairs++
+			if d > diameter {
+				diameter = d
+			}
+		}
+	}
+	if pairs == 0 {
+		return 0, 0, false
+	}
+	return float64(totalDist) / float64(pairs), diameter, connected
+}
+
+// bfs returns shortest hop counts from src along directed view edges.
+func (g Graph) bfs(src proto.ProcessID) map[proto.ProcessID]int {
+	dist := map[proto.ProcessID]int{src: 0}
+	queue := []proto.ProcessID{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range g[cur] {
+			if _, seen := dist[next]; !seen {
+				dist[next] = dist[cur] + 1
+				queue = append(queue, next)
+			}
+		}
+	}
+	return dist
+}
+
+// ClusteringCoefficient returns the mean local clustering coefficient of
+// the view graph treated as undirected: for each process, the fraction of
+// its neighbour pairs that are themselves connected. Random graphs with
+// degree l have coefficient ≈ l/n; cliquish overlays score much higher.
+func (g Graph) ClusteringCoefficient() float64 {
+	und := map[proto.ProcessID]map[proto.ProcessID]bool{}
+	link := func(a, b proto.ProcessID) {
+		if a == b {
+			return
+		}
+		if und[a] == nil {
+			und[a] = map[proto.ProcessID]bool{}
+		}
+		if und[b] == nil {
+			und[b] = map[proto.ProcessID]bool{}
+		}
+		und[a][b] = true
+		und[b][a] = true
+	}
+	for p, view := range g {
+		for _, q := range view {
+			link(p, q)
+		}
+	}
+	total, counted := 0.0, 0
+	for _, neigh := range und {
+		ns := make([]proto.ProcessID, 0, len(neigh))
+		for q := range neigh {
+			ns = append(ns, q)
+		}
+		if len(ns) < 2 {
+			continue
+		}
+		links := 0
+		for i := 0; i < len(ns); i++ {
+			for j := i + 1; j < len(ns); j++ {
+				if und[ns[i]][ns[j]] {
+					links++
+				}
+			}
+		}
+		possible := len(ns) * (len(ns) - 1) / 2
+		total += float64(links) / float64(possible)
+		counted++
+	}
+	if counted == 0 {
+		return 0
+	}
+	return total / float64(counted)
+}
+
+// nodes returns every process appearing in the graph (owner or member),
+// sorted for determinism.
+func (g Graph) nodes() []proto.ProcessID {
+	set := map[proto.ProcessID]bool{}
+	for p, view := range g {
+		set[p] = true
+		for _, q := range view {
+			set[q] = true
+		}
+	}
+	out := make([]proto.ProcessID, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

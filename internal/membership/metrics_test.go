@@ -1,0 +1,109 @@
+package membership
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/proto"
+	"repro/internal/rng"
+)
+
+func TestAveragePathLengthLine(t *testing.T) {
+	t.Parallel()
+	// 1 → 2 → 3: pairs (1,2)=1 (1,3)=2 (2,3)=1; reverse pairs unreachable.
+	g := Graph{1: {2}, 2: {3}, 3: {}}
+	mean, diameter, connected := g.AveragePathLength()
+	if connected {
+		t.Error("one-way line reported strongly connected")
+	}
+	if want := (1 + 2 + 1) / 3.0; math.Abs(mean-want) > 1e-12 {
+		t.Errorf("mean = %v, want %v", mean, want)
+	}
+	if diameter != 2 {
+		t.Errorf("diameter = %d, want 2", diameter)
+	}
+}
+
+func TestAveragePathLengthRing(t *testing.T) {
+	t.Parallel()
+	// Bidirectional 4-ring: every pair at distance 1 or 2; mean = 4/3.
+	g := Graph{1: {2, 4}, 2: {1, 3}, 3: {2, 4}, 4: {3, 1}}
+	mean, diameter, connected := g.AveragePathLength()
+	if !connected {
+		t.Error("ring not strongly connected")
+	}
+	if want := 4.0 / 3; math.Abs(mean-want) > 1e-12 {
+		t.Errorf("mean = %v, want %v", mean, want)
+	}
+	if diameter != 2 {
+		t.Errorf("diameter = %d", diameter)
+	}
+}
+
+func TestAveragePathLengthDegenerate(t *testing.T) {
+	t.Parallel()
+	if mean, d, conn := (Graph{}).AveragePathLength(); mean != 0 || d != 0 || !conn {
+		t.Error("empty graph metrics wrong")
+	}
+	if mean, _, conn := (Graph{1: {}}).AveragePathLength(); mean != 0 || !conn {
+		t.Error("singleton graph metrics wrong")
+	}
+	// Two isolated nodes: nothing reachable.
+	if _, _, conn := (Graph{1: {}, 2: {}}).AveragePathLength(); conn {
+		t.Error("disconnected pair reported connected")
+	}
+}
+
+func TestClusteringCoefficientTriangle(t *testing.T) {
+	t.Parallel()
+	g := Graph{1: {2, 3}, 2: {3}, 3: {}}
+	if got := g.ClusteringCoefficient(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("triangle clustering = %v, want 1", got)
+	}
+}
+
+func TestClusteringCoefficientStar(t *testing.T) {
+	t.Parallel()
+	// A star has no triangles at all.
+	g := Graph{1: {2, 3, 4, 5}}
+	if got := g.ClusteringCoefficient(); got != 0 {
+		t.Errorf("star clustering = %v, want 0", got)
+	}
+	if got := (Graph{}).ClusteringCoefficient(); got != 0 {
+		t.Errorf("empty clustering = %v", got)
+	}
+}
+
+func TestRandomOverlayLooksRandom(t *testing.T) {
+	t.Parallel()
+	// Uniform random views of size l over n processes: path length ≈
+	// log(n)/log(l), clustering ≈ l/n — the properties lpbcast relies on.
+	const n, l = 200, 8
+	r := rng.New(3)
+	g := Graph{}
+	for i := 0; i < n; i++ {
+		var view []proto.ProcessID
+		for _, j := range r.Sample(n-1, l) {
+			if j >= i {
+				j++
+			}
+			view = append(view, proto.ProcessID(j+1))
+		}
+		g[proto.ProcessID(i+1)] = view
+	}
+	mean, diameter, connected := g.AveragePathLength()
+	if !connected {
+		t.Fatal("random overlay not strongly connected")
+	}
+	expected := math.Log(n) / math.Log(l)
+	if mean < expected-1 || mean > expected+1.5 {
+		t.Errorf("path length %v, want ≈%v", mean, expected)
+	}
+	if diameter > 7 {
+		t.Errorf("diameter = %d, want small", diameter)
+	}
+	cc := g.ClusteringCoefficient()
+	if cc > 5*float64(l)/float64(n)+0.05 {
+		t.Errorf("clustering %v too high for a random overlay (l/n = %v)", cc, float64(l)/n)
+	}
+}

@@ -1,0 +1,222 @@
+// Package membership implements lpbcast's gossip-based partial-view
+// membership (§3 of the paper) as a separable layer, as argued in §6.2:
+// every process keeps a bounded random view of the system, updated purely
+// from subscriptions and unsubscriptions piggybacked on gossip messages.
+//
+// Two truncation policies are provided: the paper's default uniform random
+// truncation (Fig. 1(a)) and the weighted heuristic of §6.1, which tracks
+// per-entry "awareness" weights and preferentially evicts well-known
+// processes to push the in-degree distribution towards uniform.
+//
+// The package also provides the view-graph analyses used by the evaluation:
+// weakly-connected-component counting (the paper's partition notion, §4.4)
+// and in-degree statistics (the uniformity discussion of §6.1).
+package membership
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/proto"
+	"repro/internal/rng"
+)
+
+// Entry is one view slot: a known process and its awareness weight. The
+// weight counts how often the process was (re-)announced to us — a proxy
+// for "how well known" it is (§6.1). Uniform policy ignores weights.
+type Entry struct {
+	Process proto.ProcessID
+	Weight  int
+}
+
+// View is a bounded, duplicate-free set of processes with per-entry
+// weights and O(1) membership tests. It never contains its owner.
+//
+// View is not safe for concurrent use.
+type View struct {
+	owner proto.ProcessID
+	idx   map[proto.ProcessID]int // process -> position in entries
+	list  []Entry
+}
+
+// NewView creates an empty view owned by owner. The owner can never be
+// added to its own view (§4.1, footnote 8).
+func NewView(owner proto.ProcessID) *View {
+	return &View{owner: owner, idx: make(map[proto.ProcessID]int)}
+}
+
+// Owner returns the owning process.
+func (v *View) Owner() proto.ProcessID { return v.owner }
+
+// Add inserts p with weight 1, reporting whether it was added. Adding the
+// owner or a duplicate is a no-op returning false.
+func (v *View) Add(p proto.ProcessID) bool {
+	if p == v.owner || p == proto.NilProcess {
+		return false
+	}
+	if _, dup := v.idx[p]; dup {
+		return false
+	}
+	v.idx[p] = len(v.list)
+	v.list = append(v.list, Entry{Process: p, Weight: 1})
+	return true
+}
+
+// Contains reports whether p is in the view.
+func (v *View) Contains(p proto.ProcessID) bool {
+	_, ok := v.idx[p]
+	return ok
+}
+
+// Remove deletes p, reporting whether it was present.
+func (v *View) Remove(p proto.ProcessID) bool {
+	i, ok := v.idx[p]
+	if !ok {
+		return false
+	}
+	last := len(v.list) - 1
+	if i != last {
+		v.list[i] = v.list[last]
+		v.idx[v.list[i].Process] = i
+	}
+	v.list = v.list[:last]
+	delete(v.idx, p)
+	return true
+}
+
+// Len returns the number of entries.
+func (v *View) Len() int { return len(v.list) }
+
+// Processes returns a copy of the member identifiers in internal order.
+func (v *View) Processes() []proto.ProcessID {
+	if len(v.list) == 0 {
+		return nil
+	}
+	out := make([]proto.ProcessID, len(v.list))
+	for i, e := range v.list {
+		out[i] = e.Process
+	}
+	return out
+}
+
+// Entries returns a copy of the entries in internal order.
+func (v *View) Entries() []Entry {
+	if len(v.list) == 0 {
+		return nil
+	}
+	return append([]Entry(nil), v.list...)
+}
+
+// Weight returns p's awareness weight (0 if absent).
+func (v *View) Weight(p proto.ProcessID) int {
+	if i, ok := v.idx[p]; ok {
+		return v.list[i].Weight
+	}
+	return 0
+}
+
+// Bump increments p's awareness weight, reporting whether p was present.
+// Called when an incoming subs list re-announces a process we already know
+// (§6.1: "the weight of pj is increased").
+func (v *View) Bump(p proto.ProcessID) bool {
+	i, ok := v.idx[p]
+	if !ok {
+		return false
+	}
+	v.list[i].Weight++
+	return true
+}
+
+// Pick returns k distinct members chosen uniformly at random — the gossip
+// target selection of Fig. 1(b). If k >= Len() all members are returned in
+// random order.
+func (v *View) Pick(k int, r *rng.Source) []proto.ProcessID {
+	if k <= 0 || len(v.list) == 0 {
+		return nil
+	}
+	idxs := r.Sample(len(v.list), k)
+	out := make([]proto.ProcessID, len(idxs))
+	for i, j := range idxs {
+		out[i] = v.list[j].Process
+	}
+	return out
+}
+
+// removeAt deletes the entry at position i and returns it.
+func (v *View) removeAt(i int) Entry {
+	e := v.list[i]
+	last := len(v.list) - 1
+	if i != last {
+		v.list[i] = v.list[last]
+		v.idx[v.list[i].Process] = i
+	}
+	v.list = v.list[:last]
+	delete(v.idx, e.Process)
+	return e
+}
+
+// TruncateUniform removes uniformly chosen entries until Len() <= max,
+// never evicting processes in keep. Removed processes are returned (they
+// stay eligible for forwarding via subs, per Fig. 1(a) phase 2).
+func (v *View) TruncateUniform(max int, keep map[proto.ProcessID]bool, r *rng.Source) []proto.ProcessID {
+	return v.truncate(max, keep, func(cands []int) int {
+		return cands[r.Intn(len(cands))]
+	})
+}
+
+// TruncateWeighted removes the highest-weight entries first (ties broken
+// uniformly) until Len() <= max — the §6.1 heuristic: well-known entries
+// "are more probable of being known by many other processes" and are
+// evicted first. Entries in keep are never evicted.
+func (v *View) TruncateWeighted(max int, keep map[proto.ProcessID]bool, r *rng.Source) []proto.ProcessID {
+	return v.truncate(max, keep, func(cands []int) int {
+		best := []int{cands[0]}
+		for _, i := range cands[1:] {
+			switch w := v.list[i].Weight; {
+			case w > v.list[best[0]].Weight:
+				best = best[:1]
+				best[0] = i
+			case w == v.list[best[0]].Weight:
+				best = append(best, i)
+			}
+		}
+		return best[r.Intn(len(best))]
+	})
+}
+
+// truncate repeatedly evicts pickVictim's choice among non-kept entries.
+// If every entry is protected by keep, the view is left over-full rather
+// than evicting a prioritary process.
+func (v *View) truncate(max int, keep map[proto.ProcessID]bool, pickVictim func(cands []int) int) []proto.ProcessID {
+	if max < 0 {
+		max = 0
+	}
+	var removed []proto.ProcessID
+	for len(v.list) > max {
+		cands := make([]int, 0, len(v.list))
+		for i, e := range v.list {
+			if !keep[e.Process] {
+				cands = append(cands, i)
+			}
+		}
+		if len(cands) == 0 {
+			break
+		}
+		e := v.removeAt(pickVictim(cands))
+		removed = append(removed, e.Process)
+	}
+	return removed
+}
+
+// SortedProcesses returns member identifiers in ascending order — for
+// deterministic displays and tests.
+func (v *View) SortedProcesses() []proto.ProcessID {
+	ps := v.Processes()
+	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	return ps
+}
+
+// String implements fmt.Stringer.
+func (v *View) String() string {
+	return fmt.Sprintf("view(%s)%v", v.owner, v.SortedProcesses())
+}

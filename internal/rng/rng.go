@@ -1,0 +1,181 @@
+// Package rng provides deterministic, splittable pseudo-random streams.
+//
+// Every stochastic component in this repository (view truncation, gossip
+// target selection, loss injection, crash schedules, ...) draws from an
+// *rng.Source so that a whole experiment is reproducible bit-for-bit from a
+// single root seed. Sources are split hierarchically: the experiment owns a
+// root, each simulated process derives a child stream, and each child is
+// independent of its siblings.
+//
+// The generator is SplitMix64 (Steele, Lea, Flood; "Fast Splittable
+// Pseudorandom Number Generators", OOPSLA 2014). It is tiny, passes BigCrush
+// when used as specified, and — unlike math/rand — supports cheap splitting
+// without sharing state between streams.
+package rng
+
+import "math"
+
+// golden is the 64-bit golden-ratio increment used by SplitMix64.
+const golden = 0x9e3779b97f4a7c15
+
+// Source is a deterministic pseudo-random stream. The zero value is a valid
+// stream seeded with 0; use New or Split for anything else.
+//
+// Source is NOT safe for concurrent use; give each goroutine its own split.
+type Source struct {
+	state uint64
+}
+
+// New returns a Source seeded with seed.
+func New(seed uint64) *Source {
+	return &Source{state: seed}
+}
+
+// mix64 is the SplitMix64 output function.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (s *Source) Uint64() uint64 {
+	s.state += golden
+	return mix64(s.state)
+}
+
+// Split derives an independent child stream. The child's sequence does not
+// overlap the parent's continued sequence for any practical stream length.
+func (s *Source) Split() *Source {
+	// Drawing two words and remixing them decorrelates the child from both
+	// the parent's position and its seed.
+	a := s.Uint64()
+	b := s.Uint64()
+	return &Source{state: mix64(a ^ (b * golden))}
+}
+
+// SplitN derives n independent child streams.
+func (s *Source) SplitN(n int) []*Source {
+	out := make([]*Source, n)
+	for i := range out {
+		out[i] = s.Split()
+	}
+	return out
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	// Lemire's nearly-divisionless bounded generation.
+	x := s.Uint64()
+	hi, lo := mulHiLo(x, uint64(n))
+	if lo < uint64(n) {
+		thresh := -uint64(n) % uint64(n)
+		for lo < thresh {
+			x = s.Uint64()
+			hi, lo = mulHiLo(x, uint64(n))
+		}
+	}
+	return int(hi)
+}
+
+// mulHiLo returns the 128-bit product of a and b as (hi, lo).
+func mulHiLo(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	aLo, aHi := a&mask32, a>>32
+	bLo, bHi := b&mask32, b>>32
+	t := aHi*bLo + (aLo*bLo)>>32
+	lo = a * b
+	hi = aHi*bHi + (t >> 32) + (aLo*bHi+t&mask32)>>32
+	return hi, lo
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool {
+	switch {
+	case p <= 0:
+		return false
+	case p >= 1:
+		return true
+	}
+	return s.Float64() < p
+}
+
+// Perm returns a random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := s.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Sample returns k distinct indices drawn uniformly from [0, n) in random
+// order. If k >= n it returns a permutation of all n indices.
+func (s *Source) Sample(n, k int) []int {
+	if k >= n {
+		return s.Perm(n)
+	}
+	if k <= 0 {
+		return nil
+	}
+	// Partial Fisher–Yates over a lazily materialized array: for the small k
+	// used by gossip fanouts this is O(k) time and O(k) extra space.
+	chosen := make(map[int]int, 2*k)
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		j := i + s.Intn(n-i)
+		vj, ok := chosen[j]
+		if !ok {
+			vj = j
+		}
+		vi, ok := chosen[i]
+		if !ok {
+			vi = i
+		}
+		out[i] = vj
+		chosen[j] = vi
+	}
+	return out
+}
+
+// NormFloat64 returns a normally distributed float64 with mean 0 and
+// standard deviation 1, using the polar Box–Muller method.
+func (s *Source) NormFloat64() float64 {
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q == 0 || q >= 1 {
+			continue
+		}
+		return u * math.Sqrt(-2*math.Log(q)/q)
+	}
+}
+
+// ExpFloat64 returns an exponentially distributed float64 with rate 1.
+func (s *Source) ExpFloat64() float64 {
+	for {
+		u := s.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package sim
+
+import "errors"
+
+// InfectionResult is the outcome of tracing one event's propagation.
+type InfectionResult struct {
+	// PerRound[r] is the (mean) number of processes that have delivered
+	// the traced event by the end of round r; PerRound[0] == 1 (the
+	// publisher).
+	PerRound []float64
+	// Runs is the number of repetitions averaged.
+	Runs int
+}
+
+// RoundsToReach returns the first round at which the mean infection count
+// reached target, or (len(PerRound), false) if it never did.
+func (r InfectionResult) RoundsToReach(target float64) (int, bool) {
+	for round, v := range r.PerRound {
+		if v >= target {
+			return round, true
+		}
+	}
+	return len(r.PerRound), false
+}
+
+// InfectionExperiment traces the dissemination of a single event — the
+// paper's "run" (§4.1) — and averages the per-round infection counts over
+// repeats. Each repeat uses a fresh cluster derived from opts.Seed.
+//
+// The publisher is process 1. For lpbcast the event propagates by push;
+// for the pbcast protocols by digest gossip + pull.
+func InfectionExperiment(opts Options, rounds, repeats int) (InfectionResult, error) {
+	if rounds <= 0 || repeats <= 0 {
+		return InfectionResult{}, errors.New("sim: rounds and repeats must be positive")
+	}
+	if opts.Horizon == 0 {
+		opts.Horizon = uint64(rounds)
+	}
+	sum := make([]float64, rounds+1)
+	for rep := 0; rep < repeats; rep++ {
+		o := opts
+		o.Seed = opts.Seed + uint64(rep)*1_000_003
+		cluster, err := NewCluster(o)
+		if err != nil {
+			return InfectionResult{}, err
+		}
+		traced, err := cluster.PublishAt(0)
+		if err != nil {
+			return InfectionResult{}, err
+		}
+		sum[0] += float64(cluster.DeliveredCount(traced.ID))
+		for r := 1; r <= rounds; r++ {
+			cluster.RunRound()
+			sum[r] += float64(cluster.DeliveredCount(traced.ID))
+		}
+	}
+	for i := range sum {
+		sum[i] /= float64(repeats)
+	}
+	return InfectionResult{PerRound: sum, Runs: repeats}, nil
+}

@@ -1,0 +1,80 @@
+package sim
+
+import "testing"
+
+func TestLoadExperimentValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := LoadExperiment(DefaultOptions(20), -1, 5); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := LoadExperiment(DefaultOptions(20), 5, 0); err == nil {
+		t.Error("zero rounds accepted")
+	}
+	if _, err := LoadExperiment(DefaultOptions(1), 5, 5); err == nil {
+		t.Error("bad cluster accepted")
+	}
+}
+
+func TestLoadIsFlat(t *testing.T) {
+	t.Parallel()
+	// §3.3: "The network thus experiences little fluctuations in terms of
+	// overall load" — every process sends exactly F gossips per round no
+	// matter the event traffic.
+	o := DefaultOptions(60)
+	o.Seed = 8
+	o.Tau = 0
+	o.Lpbcast.AssumeFromDigest = true
+	res, err := LoadExperiment(o, 20, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(60 * 3) // n × F, no retransmission traffic
+	if res.Mean != want {
+		t.Errorf("mean load %v, want exactly %v", res.Mean, want)
+	}
+	if res.CV != 0 {
+		t.Errorf("coefficient of variation %v, want 0 (perfectly flat)", res.CV)
+	}
+}
+
+func TestLoadUnaffectedByRate(t *testing.T) {
+	t.Parallel()
+	// Publishing 10× more events must not change the message count — the
+	// defining difference from ack-based reliable multicast.
+	get := func(rate int) float64 {
+		o := DefaultOptions(40)
+		o.Seed = 9
+		o.Tau = 0
+		o.Lpbcast.AssumeFromDigest = true
+		res, err := LoadExperiment(o, rate, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Mean
+	}
+	if low, high := get(2), get(20); low != high {
+		t.Errorf("load changed with event rate: %v vs %v", low, high)
+	}
+}
+
+func TestLoadWithRetransmissionVariesOnlyMildly(t *testing.T) {
+	t.Parallel()
+	// With pull retransmission the load adds request/reply traffic but
+	// stays within a small factor of the gossip baseline.
+	o := DefaultOptions(40)
+	o.Seed = 10
+	o.Tau = 0
+	o.Lpbcast.AssumeFromDigest = false
+	o.Lpbcast.Retransmit = true
+	res, err := LoadExperiment(o, 10, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := float64(40 * 3)
+	if res.Mean < base {
+		t.Errorf("mean %v below gossip baseline %v", res.Mean, base)
+	}
+	if res.Mean > 3*base {
+		t.Errorf("mean %v more than 3x baseline %v", res.Mean, base)
+	}
+}

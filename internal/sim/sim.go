@@ -1,0 +1,449 @@
+// Package sim is the evaluation harness of the reproduction: a
+// round-synchronous simulator in the style of the paper's §5.1 ("we have
+// simulated the entire system in a single process ... synchronous gossip
+// rounds in which each process gossips once"), with the §4.1 failure
+// model: Bernoulli message loss ε and a crashed fraction τ.
+//
+// The simulator drives the real protocol engines (internal/core for
+// lpbcast, internal/pbcast for Bimodal Multicast) through the shared
+// Process interface, so simulation results measure the same code that
+// runs over real transports. Two experiment types cover all of the
+// paper's empirical figures:
+//
+//   - InfectionExperiment traces the propagation of a single event
+//     (Figs. 5(a), 5(b), 7(a));
+//   - ReliabilityExperiment measures delivery reliability 1-β under a
+//     continuous publication load with bounded buffers
+//     (Figs. 6(a), 6(b), 7(b)).
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/membership"
+	"repro/internal/pbcast"
+	"repro/internal/proto"
+	"repro/internal/rng"
+)
+
+// Process is the engine-side contract the simulator drives. Both
+// core.Engine and pbcast.Node satisfy it.
+type Process interface {
+	Self() proto.ProcessID
+	Tick(now uint64) []proto.Message
+	HandleMessage(m proto.Message, now uint64) []proto.Message
+}
+
+// Protocol selects which broadcast algorithm a cluster runs.
+type Protocol int
+
+const (
+	// Lpbcast is the paper's algorithm (internal/core).
+	Lpbcast Protocol = iota
+	// PbcastPartial is Bimodal Multicast over the lpbcast membership
+	// layer (§6.2).
+	PbcastPartial
+	// PbcastTotal is classic Bimodal Multicast with a complete view.
+	PbcastTotal
+)
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	switch p {
+	case Lpbcast:
+		return "lpbcast"
+	case PbcastPartial:
+		return "pbcast/partial"
+	case PbcastTotal:
+		return "pbcast/total"
+	default:
+		return fmt.Sprintf("protocol(%d)", int(p))
+	}
+}
+
+// Options configures a simulated cluster.
+type Options struct {
+	// N is the number of processes.
+	N int
+	// Seed makes the whole experiment reproducible.
+	Seed uint64
+	// Protocol selects the broadcast algorithm.
+	Protocol Protocol
+	// Lpbcast configures the engines when Protocol == Lpbcast.
+	Lpbcast core.Config
+	// Pbcast configures the nodes for the pbcast protocols.
+	Pbcast pbcast.Config
+	// Epsilon is the per-message loss probability (paper: 0.05).
+	Epsilon float64
+	// Tau is the crashed fraction per run (paper: 0.01). Crash times are
+	// sampled uniformly over the run's horizon.
+	Tau float64
+	// Horizon is the number of rounds used when sampling crash times; the
+	// experiment runners set it to their round count.
+	Horizon uint64
+	// WarmupRounds lets membership gossip mix the views before the
+	// measured part of the experiment starts.
+	WarmupRounds int
+	// FirstPhaseDelivery, for the pbcast protocols, is the per-receiver
+	// delivery probability of the unreliable first-phase multicast (IP
+	// multicast in Bimodal Multicast). 0 disables the first phase — the
+	// configuration of the paper's Fig. 7, whose curves start at one
+	// infected process.
+	FirstPhaseDelivery float64
+	// RingSeed seeds each view with only the successor process instead of
+	// a uniform random sample, so view quality depends entirely on the
+	// membership gossip — used by the §6.1 membership-frequency ablation.
+	RingSeed bool
+	// Async selects unsynchronized gossip periods, the regime of the
+	// paper's real measurements (§3.2: "non-synchronized periodical
+	// gossips"). Processes tick in a random order within each period and
+	// messages are delivered immediately, so a receiver that has not yet
+	// gossiped this period forwards fresh information in the same period
+	// (≈2 hops per period on average, vs exactly 1 in synchronous mode).
+	// Synchronous mode (false) matches the paper's §5.1 simulations and
+	// the Markov analysis.
+	Async bool
+}
+
+// DefaultOptions returns the paper's standard simulation setup for n
+// processes: lpbcast, F=3, l=15, ε=0.05, τ=0.01.
+func DefaultOptions(n int) Options {
+	return Options{
+		N:       n,
+		Seed:    1,
+		Lpbcast: core.DefaultConfig(),
+		Pbcast:  pbcast.DefaultConfig(),
+		Epsilon: 0.05,
+		Tau:     0.01,
+	}
+}
+
+// Validate reports option errors.
+func (o Options) Validate() error {
+	if o.N < 2 {
+		return errors.New("sim: need at least 2 processes")
+	}
+	if o.Epsilon < 0 || o.Epsilon >= 1 {
+		return fmt.Errorf("sim: epsilon %v out of [0,1)", o.Epsilon)
+	}
+	if o.Tau < 0 || o.Tau >= 1 {
+		return fmt.Errorf("sim: tau %v out of [0,1)", o.Tau)
+	}
+	switch o.Protocol {
+	case Lpbcast:
+		return o.Lpbcast.Validate()
+	case PbcastPartial, PbcastTotal:
+		return o.Pbcast.Validate()
+	default:
+		return fmt.Errorf("sim: unknown protocol %d", int(o.Protocol))
+	}
+}
+
+// NetStats counts network-level activity during a run.
+type NetStats struct {
+	Sent      uint64
+	Dropped   uint64 // lost to Bernoulli ε
+	ToCrashed uint64 // addressed to a crashed process
+	Delivered uint64
+}
+
+// Cluster is a simulated system of processes plus its failure model.
+type Cluster struct {
+	opts      Options
+	procs     []Process
+	ids       []proto.ProcessID
+	index     map[proto.ProcessID]int
+	loss      fault.LossModel
+	crashes   *fault.CrashSchedule
+	rec       *recorder
+	tickRNG   *rng.Source
+	mcastRNG  *rng.Source
+	now       uint64
+	net       NetStats
+	deliverFn func(owner proto.ProcessID, ev proto.Event)
+}
+
+// NewCluster builds a cluster of n processes with uniformly random initial
+// views of size l (the analysis' uniform-view assumption, §4.1), then runs
+// the configured warmup rounds.
+func NewCluster(opts Options) (*Cluster, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	root := rng.New(opts.Seed)
+	c := &Cluster{
+		opts:     opts,
+		index:    make(map[proto.ProcessID]int, opts.N),
+		loss:     fault.NewBernoulli(opts.Epsilon, root.Split()),
+		crashes:  fault.NewCrashSchedule(),
+		rec:      newRecorder(opts.N),
+		tickRNG:  root.Split(),
+		mcastRNG: root.Split(),
+	}
+	c.deliverFn = func(owner proto.ProcessID, ev proto.Event) { c.rec.record(owner, ev) }
+
+	for i := 0; i < opts.N; i++ {
+		pid := proto.ProcessID(i + 1)
+		c.ids = append(c.ids, pid)
+		c.index[pid] = i
+	}
+	viewRNG := root.Split()
+	for i := 0; i < opts.N; i++ {
+		pid := c.ids[i]
+		var p Process
+		var err error
+		switch opts.Protocol {
+		case Lpbcast:
+			var eng *core.Engine
+			eng, err = core.New(pid, opts.Lpbcast, c.deliverer(pid), root.Split())
+			if err == nil {
+				eng.Seed(c.uniformView(i, opts.Lpbcast.Membership.MaxView, viewRNG))
+			}
+			p = eng
+		case PbcastPartial:
+			var node *pbcast.Node
+			node, err = pbcast.New(pid, opts.Pbcast, c.deliverer(pid), root.Split())
+			if err == nil {
+				node.Seed(c.uniformView(i, opts.Pbcast.Membership.MaxView, viewRNG))
+			}
+			p = node
+		case PbcastTotal:
+			cfg := opts.Pbcast
+			cfg.Mode = pbcast.TotalView
+			var node *pbcast.Node
+			node, err = pbcast.New(pid, cfg, c.deliverer(pid), root.Split())
+			if err == nil {
+				node.SetTotalView(c.ids)
+			}
+			p = node
+		}
+		if err != nil {
+			return nil, fmt.Errorf("sim: process %v: %w", pid, err)
+		}
+		c.procs = append(c.procs, p)
+	}
+
+	if opts.Tau > 0 {
+		horizon := opts.Horizon
+		if horizon == 0 {
+			horizon = 10
+		}
+		c.crashes.SampleCrashes(c.ids, opts.Tau, horizon, root.Split())
+	}
+
+	for i := 0; i < opts.WarmupRounds; i++ {
+		c.RunRound()
+	}
+	return c, nil
+}
+
+// deliverer returns the per-process delivery callback.
+func (c *Cluster) deliverer(pid proto.ProcessID) func(ev proto.Event) {
+	return func(ev proto.Event) { c.deliverFn(pid, ev) }
+}
+
+// uniformView draws l distinct members (excluding process i itself), or
+// just the ring successor when RingSeed is set.
+func (c *Cluster) uniformView(i, l int, r *rng.Source) []proto.ProcessID {
+	if c.opts.RingSeed {
+		return []proto.ProcessID{c.ids[(i+1)%c.opts.N]}
+	}
+	out := make([]proto.ProcessID, 0, l)
+	for _, j := range r.Sample(c.opts.N-1, l) {
+		// Map [0, N-2] onto ids skipping index i.
+		if j >= i {
+			j++
+		}
+		out = append(out, c.ids[j])
+	}
+	return out
+}
+
+// Process returns the i-th process (0-based).
+func (c *Cluster) Process(i int) Process { return c.procs[i] }
+
+// N returns the cluster size.
+func (c *Cluster) N() int { return c.opts.N }
+
+// Now returns the current round number.
+func (c *Cluster) Now() uint64 { return c.now }
+
+// NetStats returns the cumulative network counters.
+func (c *Cluster) NetStats() NetStats { return c.net }
+
+// Crashed reports whether process pid is crashed at the current round.
+func (c *Cluster) Crashed(pid proto.ProcessID) bool { return c.crashes.Crashed(pid, c.now) }
+
+// AliveCount returns the number of non-crashed processes.
+func (c *Cluster) AliveCount() int { return c.opts.N - c.crashes.CrashedCount(c.now) }
+
+// maxChase bounds the same-round response cascade (requests triggering
+// replies triggering requests, ...) as a safety valve against protocol
+// bugs; well-behaved engines drain in one or two hops.
+const maxChase = 16
+
+// RunRound advances the simulation one gossip period.
+//
+// In synchronous mode (the default, matching §5.1 and the analysis), every
+// alive process first emits its periodic gossip; then the network applies
+// loss and crash filtering and receivers process messages, so information
+// travels exactly one hop per round. Same-round responses (e.g. pbcast
+// solicitations) are chased until the wire drains.
+//
+// In Async mode, processes tick one at a time in a random order and their
+// messages are delivered immediately: a receiver that ticks later in the
+// same period forwards fresh information within the period, as in the
+// paper's unsynchronized testbed.
+func (c *Cluster) RunRound() {
+	c.now++
+	order := make([]int, len(c.procs))
+	for i := range order {
+		order[i] = i
+	}
+	if c.opts.Async {
+		c.tickRNG.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, i := range order {
+			if c.crashes.Crashed(c.ids[i], c.now) {
+				continue
+			}
+			c.dispatch(c.procs[i].Tick(c.now))
+		}
+		return
+	}
+	var queue []proto.Message
+	for _, i := range order {
+		if c.crashes.Crashed(c.ids[i], c.now) {
+			continue
+		}
+		queue = append(queue, c.procs[i].Tick(c.now)...)
+	}
+	c.dispatch(queue)
+}
+
+// dispatch delivers queued messages, chasing same-round responses.
+func (c *Cluster) dispatch(queue []proto.Message) {
+	for hop := 0; len(queue) > 0 && hop < maxChase; hop++ {
+		var next []proto.Message
+		for _, m := range queue {
+			c.net.Sent++
+			di, ok := c.index[m.To]
+			if !ok || c.crashes.Crashed(m.To, c.now) {
+				c.net.ToCrashed++
+				continue
+			}
+			if c.loss.Drop(m.From, m.To, c.now) {
+				c.net.Dropped++
+				continue
+			}
+			c.net.Delivered++
+			next = append(next, c.procs[di].HandleMessage(m, c.now)...)
+		}
+		queue = next
+	}
+}
+
+// PublishAt publishes a fresh event at process index i (0-based) through
+// the cluster's protocol, running pbcast's unreliable first-phase
+// multicast when configured.
+func (c *Cluster) PublishAt(i int) (proto.Event, error) {
+	switch p := c.procs[i].(type) {
+	case *core.Engine:
+		return p.Publish(nil), nil
+	case *pbcast.Node:
+		ev := p.Publish(nil)
+		if c.opts.FirstPhaseDelivery > 0 {
+			for j, q := range c.procs {
+				if j == i || c.crashes.Crashed(c.ids[j], c.now) {
+					continue
+				}
+				if node, ok := q.(*pbcast.Node); ok && c.mcastRNG.Bool(c.opts.FirstPhaseDelivery) {
+					node.HandleFirstPhase(ev)
+				}
+			}
+		}
+		return ev, nil
+	default:
+		return proto.Event{}, fmt.Errorf("sim: unsupported process type %T", c.procs[i])
+	}
+}
+
+// Graph snapshots every process's current view for membership analyses.
+func (c *Cluster) Graph() membership.Graph {
+	g := membership.Graph{}
+	for i, p := range c.procs {
+		pid := c.ids[i]
+		if c.crashes.Crashed(pid, c.now) {
+			continue
+		}
+		switch e := p.(type) {
+		case *core.Engine:
+			g[pid] = e.View()
+		case *pbcast.Node:
+			g[pid] = e.View()
+		}
+	}
+	return g
+}
+
+// DeliveredCount returns how many processes have delivered ev.
+func (c *Cluster) DeliveredCount(id proto.EventID) int { return c.rec.count(id) }
+
+// HasDelivered reports whether process pid has delivered id.
+func (c *Cluster) HasDelivered(pid proto.ProcessID, id proto.EventID) bool {
+	return c.rec.has(c.index[pid], id)
+}
+
+// recorder tracks first deliveries per (event, process).
+type recorder struct {
+	n      int
+	events map[proto.EventID]*eventRecord
+}
+
+type eventRecord struct {
+	seen  []bool
+	count int
+}
+
+func newRecorder(n int) *recorder {
+	return &recorder{n: n, events: make(map[proto.EventID]*eventRecord)}
+}
+
+func (r *recorder) record(owner proto.ProcessID, ev proto.Event) {
+	rec, ok := r.events[ev.ID]
+	if !ok {
+		rec = &eventRecord{seen: make([]bool, r.n)}
+		r.events[ev.ID] = rec
+	}
+	i := int(owner) - 1
+	if i < 0 || i >= r.n || rec.seen[i] {
+		return
+	}
+	rec.seen[i] = true
+	rec.count++
+}
+
+func (r *recorder) count(id proto.EventID) int {
+	if rec, ok := r.events[id]; ok {
+		return rec.count
+	}
+	return 0
+}
+
+func (r *recorder) has(i int, id proto.EventID) bool {
+	rec, ok := r.events[id]
+	return ok && i >= 0 && i < r.n && rec.seen[i]
+}
+
+// eventIDs returns all recorded event ids, sorted for determinism.
+func (r *recorder) eventIDs() []proto.EventID {
+	out := make([]proto.EventID, 0, len(r.events))
+	for id := range r.events {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}

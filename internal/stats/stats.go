@@ -1,0 +1,257 @@
+// Package stats provides the small statistics toolkit used by the
+// simulation and benchmark harnesses: scalar summaries, per-round series,
+// histograms, and plain-text table rendering in the style of the paper's
+// gnuplot figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds the usual scalar statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Stddev float64
+	Min    float64
+	Max    float64
+	P50    float64
+	P90    float64
+	P99    float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var sum, sumSq float64
+	for _, x := range sorted {
+		sum += x
+		sumSq += x * x
+	}
+	n := float64(len(sorted))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0 // guard against floating point cancellation
+	}
+	return Summary{
+		N:      len(sorted),
+		Mean:   mean,
+		Stddev: math.Sqrt(variance),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		P50:    Percentile(sorted, 0.50),
+		P90:    Percentile(sorted, 0.90),
+		P99:    Percentile(sorted, 0.99),
+	}
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 1) of an ascending
+// sorted sample using linear interpolation between closest ranks.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs (NaN for an empty sample).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Stddev returns the population standard deviation of xs.
+func Stddev(xs []float64) float64 {
+	return Summarize(xs).Stddev
+}
+
+// Series is a named sequence of (x, y) points — one curve of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Add appends one point to the series.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// YAt returns the y value at the first point whose x equals x, and whether
+// such a point exists.
+func (s *Series) YAt(x float64) (float64, bool) {
+	for i, xv := range s.X {
+		if xv == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+// Table renders one or more series that share an x axis as a plain-text
+// table: a header row, then one row per x with one column per series. The
+// layout matches the data files behind the paper's gnuplot figures, so the
+// output of each experiment can be diffed and eyeballed directly.
+type Table struct {
+	Title   string
+	XLabel  string
+	YFormat string // printf verb for y cells, default "%g"
+	Series  []*Series
+}
+
+// Render writes the table to a string.
+func (t *Table) Render() string {
+	yf := t.YFormat
+	if yf == "" {
+		yf = "%g"
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "# %s\n", t.Title)
+	}
+	xl := t.XLabel
+	if xl == "" {
+		xl = "x"
+	}
+	fmt.Fprintf(&b, "%-12s", xl)
+	for _, s := range t.Series {
+		fmt.Fprintf(&b, " %16s", s.Name)
+	}
+	b.WriteByte('\n')
+
+	// Collect the union of x values in ascending order.
+	xset := map[float64]bool{}
+	for _, s := range t.Series {
+		for _, x := range s.X {
+			xset[x] = true
+		}
+	}
+	xs := make([]float64, 0, len(xset))
+	for x := range xset {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%-12g", x)
+		for _, s := range t.Series {
+			if y, ok := s.YAt(x); ok {
+				fmt.Fprintf(&b, " %16s", fmt.Sprintf(yf, y))
+			} else {
+				fmt.Fprintf(&b, " %16s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Histogram is a fixed-width bucket histogram over [Min, Max).
+type Histogram struct {
+	Min, Max float64
+	Buckets  []int
+	under    int
+	over     int
+	count    int
+}
+
+// NewHistogram creates a histogram with n buckets spanning [min, max).
+func NewHistogram(min, max float64, n int) *Histogram {
+	if n <= 0 || max <= min {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{Min: min, Max: max, Buckets: make([]int, n)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(x float64) {
+	h.count++
+	switch {
+	case x < h.Min:
+		h.under++
+	case x >= h.Max:
+		h.over++
+	default:
+		i := int((x - h.Min) / (h.Max - h.Min) * float64(len(h.Buckets)))
+		if i >= len(h.Buckets) { // rounding at the upper edge
+			i = len(h.Buckets) - 1
+		}
+		h.Buckets[i]++
+	}
+}
+
+// Count returns the total number of observations, including out-of-range.
+func (h *Histogram) Count() int { return h.count }
+
+// OutOfRange returns observations below Min and at or above Max.
+func (h *Histogram) OutOfRange() (under, over int) { return h.under, h.over }
+
+// Fraction returns the fraction of in-range observations in bucket i.
+func (h *Histogram) Fraction(i int) float64 {
+	in := h.count - h.under - h.over
+	if in == 0 {
+		return 0
+	}
+	return float64(h.Buckets[i]) / float64(in)
+}
+
+// Counter accumulates a running mean/max without storing samples.
+type Counter struct {
+	n   int
+	sum float64
+	max float64
+}
+
+// Observe records one value.
+func (c *Counter) Observe(x float64) {
+	if c.n == 0 || x > c.max {
+		c.max = x
+	}
+	c.n++
+	c.sum += x
+}
+
+// N returns the number of observations.
+func (c *Counter) N() int { return c.n }
+
+// Mean returns the running mean (NaN when empty).
+func (c *Counter) Mean() float64 {
+	if c.n == 0 {
+		return math.NaN()
+	}
+	return c.sum / float64(c.n)
+}
+
+// Max returns the largest observation (zero when empty).
+func (c *Counter) Max() float64 { return c.max }

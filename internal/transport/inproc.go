@@ -1,0 +1,201 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/proto"
+	"repro/internal/rng"
+)
+
+// NetworkConfig shapes an in-process network.
+type NetworkConfig struct {
+	// Loss drops messages; nil means no loss.
+	Loss fault.LossModel
+	// MinDelay/MaxDelay bound the uniformly distributed per-message
+	// delivery latency. Zero values deliver immediately.
+	MinDelay, MaxDelay time.Duration
+	// QueueLen is each endpoint's inbound buffer; a full buffer drops new
+	// messages (like a UDP socket buffer). Default 1024.
+	QueueLen int
+	// Seed drives the latency/loss randomness.
+	Seed uint64
+}
+
+// Network is an in-process message fabric connecting Endpoints. It
+// replaces the paper's physical testbed: one goroutine per process, channel
+// queues standing in for Fast Ethernet, with Bernoulli loss ε and
+// configurable latency injected at the fabric.
+//
+// Network is safe for concurrent use.
+type Network struct {
+	cfg NetworkConfig
+
+	mu     sync.Mutex
+	rng    *rng.Source
+	eps    map[proto.ProcessID]*Endpoint
+	closed bool
+
+	timers sync.WaitGroup
+
+	sent    uint64
+	dropped uint64
+}
+
+// NewNetwork creates an empty network.
+func NewNetwork(cfg NetworkConfig) *Network {
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = 1024
+	}
+	return &Network{
+		cfg: cfg,
+		rng: rng.New(cfg.Seed),
+		eps: make(map[proto.ProcessID]*Endpoint),
+	}
+}
+
+// Endpoint is one process's attachment to a Network.
+type Endpoint struct {
+	net *Network
+	id  proto.ProcessID
+	in  chan proto.Message
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Attach creates and registers an endpoint for process id.
+func (n *Network) Attach(id proto.ProcessID) (*Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, dup := n.eps[id]; dup {
+		return nil, fmt.Errorf("transport: process %v already attached", id)
+	}
+	ep := &Endpoint{net: n, id: id, in: make(chan proto.Message, n.cfg.QueueLen)}
+	n.eps[id] = ep
+	return ep, nil
+}
+
+// Stats returns the number of messages sent and dropped so far.
+func (n *Network) Stats() (sent, dropped uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.sent, n.dropped
+}
+
+// Close shuts the fabric down: all endpoints close and in-flight delayed
+// messages are flushed or discarded.
+func (n *Network) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	eps := make([]*Endpoint, 0, len(n.eps))
+	for _, ep := range n.eps {
+		eps = append(eps, ep)
+	}
+	n.mu.Unlock()
+
+	n.timers.Wait() // let delayed deliveries settle
+	for _, ep := range eps {
+		ep.closeLocal()
+	}
+	return nil
+}
+
+// deliver routes m to its destination endpoint, applying loss and latency.
+func (n *Network) deliver(m proto.Message) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	n.sent++
+	dst, ok := n.eps[m.To]
+	if !ok {
+		n.dropped++
+		n.mu.Unlock()
+		return nil // unknown peers lose messages silently, like UDP
+	}
+	if n.cfg.Loss != nil && n.cfg.Loss.Drop(m.From, m.To, uint64(time.Now().UnixNano())) {
+		n.dropped++
+		n.mu.Unlock()
+		return nil
+	}
+	var delay time.Duration
+	if n.cfg.MaxDelay > 0 {
+		span := n.cfg.MaxDelay - n.cfg.MinDelay
+		delay = n.cfg.MinDelay
+		if span > 0 {
+			delay += time.Duration(n.rng.Intn(int(span)))
+		}
+	}
+	n.mu.Unlock()
+
+	if delay <= 0 {
+		dst.enqueue(m, n)
+		return nil
+	}
+	n.timers.Add(1)
+	timer := time.AfterFunc(delay, func() {
+		defer n.timers.Done()
+		dst.enqueue(m, n)
+	})
+	_ = timer
+	return nil
+}
+
+// enqueue places m in the endpoint's inbox, dropping on overflow or close.
+func (ep *Endpoint) enqueue(m proto.Message, n *Network) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.closed {
+		return
+	}
+	select {
+	case ep.in <- m:
+	default: // inbox full: drop, like a saturated socket buffer
+		n.mu.Lock()
+		n.dropped++
+		n.mu.Unlock()
+	}
+}
+
+// Send implements Transport.
+func (ep *Endpoint) Send(m proto.Message) error {
+	if m.From == proto.NilProcess {
+		m.From = ep.id
+	}
+	return ep.net.deliver(m)
+}
+
+// Recv implements Transport.
+func (ep *Endpoint) Recv() <-chan proto.Message { return ep.in }
+
+// Close implements Transport: it detaches the endpoint from the network.
+func (ep *Endpoint) Close() error {
+	ep.net.mu.Lock()
+	delete(ep.net.eps, ep.id)
+	ep.net.mu.Unlock()
+	ep.closeLocal()
+	return nil
+}
+
+func (ep *Endpoint) closeLocal() {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if !ep.closed {
+		ep.closed = true
+		close(ep.in)
+	}
+}
+
+// ID returns the endpoint's process id.
+func (ep *Endpoint) ID() proto.ProcessID { return ep.id }

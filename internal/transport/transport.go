@@ -1,0 +1,35 @@
+// Package transport provides the message transports the live lpbcast node
+// runs over: an in-process network with injectable loss and latency (the
+// substitution for the paper's two LANs of 125 workstations — see
+// DESIGN.md §3) and a real UDP transport built on the stdlib net package
+// and the internal/wire codec.
+package transport
+
+import (
+	"errors"
+
+	"repro/internal/proto"
+)
+
+// ErrClosed is returned by operations on a closed transport.
+var ErrClosed = errors.New("transport: closed")
+
+// ErrUnknownPeer is returned when sending to a process with no known
+// address.
+var ErrUnknownPeer = errors.New("transport: unknown peer")
+
+// Transport moves protocol messages between processes. Implementations are
+// datagram-like: Send does not block on the receiver, delivery is not
+// guaranteed, and messages may be dropped under load — exactly the fault
+// model gossip protocols are designed for.
+type Transport interface {
+	// Send transmits m to m.To. It never blocks on the receiving process;
+	// an unreachable or overloaded receiver loses the message silently
+	// (after all, ε > 0 is part of the model).
+	Send(m proto.Message) error
+	// Recv returns the channel of inbound messages. The channel is closed
+	// when the transport closes.
+	Recv() <-chan proto.Message
+	// Close releases resources and closes the Recv channel.
+	Close() error
+}

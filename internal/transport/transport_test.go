@@ -1,0 +1,355 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/proto"
+	"repro/internal/rng"
+)
+
+func recvOne(t *testing.T, tr Transport, timeout time.Duration) proto.Message {
+	t.Helper()
+	select {
+	case m, ok := <-tr.Recv():
+		if !ok {
+			t.Fatal("recv channel closed")
+		}
+		return m
+	case <-time.After(timeout):
+		t.Fatal("timed out waiting for message")
+		return proto.Message{}
+	}
+}
+
+func subscribeMsg(from, to proto.ProcessID) proto.Message {
+	return proto.Message{Kind: proto.SubscribeMsg, From: from, To: to, Subscriber: from}
+}
+
+func TestInprocDelivery(t *testing.T) {
+	t.Parallel()
+	n := NewNetwork(NetworkConfig{})
+	defer n.Close()
+	a, err := n.Attach(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.Attach(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID() != 1 {
+		t.Fatalf("ID = %v", a.ID())
+	}
+	if err := a.Send(subscribeMsg(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	m := recvOne(t, b, time.Second)
+	if m.Kind != proto.SubscribeMsg || m.From != 1 {
+		t.Fatalf("got %+v", m)
+	}
+}
+
+func TestInprocFillsInSender(t *testing.T) {
+	t.Parallel()
+	n := NewNetwork(NetworkConfig{})
+	defer n.Close()
+	a, _ := n.Attach(1)
+	b, _ := n.Attach(2)
+	msg := subscribeMsg(0, 2) // From unset
+	if err := a.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvOne(t, b, time.Second); got.From != 1 {
+		t.Fatalf("From = %v, want 1", got.From)
+	}
+}
+
+func TestInprocDuplicateAttach(t *testing.T) {
+	t.Parallel()
+	n := NewNetwork(NetworkConfig{})
+	defer n.Close()
+	if _, err := n.Attach(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Attach(1); err == nil {
+		t.Fatal("duplicate attach succeeded")
+	}
+}
+
+func TestInprocUnknownPeerDropsSilently(t *testing.T) {
+	t.Parallel()
+	n := NewNetwork(NetworkConfig{})
+	defer n.Close()
+	a, _ := n.Attach(1)
+	if err := a.Send(subscribeMsg(1, 99)); err != nil {
+		t.Fatalf("send to unknown peer errored: %v", err)
+	}
+	_, dropped := n.Stats()
+	if dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", dropped)
+	}
+}
+
+func TestInprocLossInjection(t *testing.T) {
+	t.Parallel()
+	n := NewNetwork(NetworkConfig{
+		Loss: fault.NewBernoulli(1.0, rng.New(1)), // drop everything
+	})
+	defer n.Close()
+	a, _ := n.Attach(1)
+	b, _ := n.Attach(2)
+	for i := 0; i < 10; i++ {
+		if err := a.Send(subscribeMsg(1, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case m := <-b.Recv():
+		t.Fatalf("message got through a 100%% lossy network: %+v", m)
+	case <-time.After(50 * time.Millisecond):
+	}
+	sent, dropped := n.Stats()
+	if sent != 10 || dropped != 10 {
+		t.Fatalf("stats = %d sent, %d dropped", sent, dropped)
+	}
+}
+
+func TestInprocLatency(t *testing.T) {
+	t.Parallel()
+	n := NewNetwork(NetworkConfig{MinDelay: 30 * time.Millisecond, MaxDelay: 40 * time.Millisecond})
+	defer n.Close()
+	a, _ := n.Attach(1)
+	b, _ := n.Attach(2)
+	start := time.Now()
+	if err := a.Send(subscribeMsg(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, b, time.Second)
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("delivered after %v, want ≥ ~30ms", elapsed)
+	}
+}
+
+func TestInprocQueueOverflow(t *testing.T) {
+	t.Parallel()
+	n := NewNetwork(NetworkConfig{QueueLen: 2})
+	defer n.Close()
+	a, _ := n.Attach(1)
+	n.Attach(2)
+	for i := 0; i < 5; i++ {
+		if err := a.Send(subscribeMsg(1, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, dropped := n.Stats()
+	if dropped != 3 {
+		t.Fatalf("dropped = %d, want 3", dropped)
+	}
+}
+
+func TestInprocCloseEndpoint(t *testing.T) {
+	t.Parallel()
+	n := NewNetwork(NetworkConfig{})
+	defer n.Close()
+	a, _ := n.Attach(1)
+	b, _ := n.Attach(2)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := <-b.Recv(); ok {
+		t.Fatal("recv channel not closed")
+	}
+	// Sending to the departed endpoint drops silently.
+	if err := a.Send(subscribeMsg(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Re-attach with the same id is allowed after close.
+	if _, err := n.Attach(2); err != nil {
+		t.Fatalf("re-attach failed: %v", err)
+	}
+}
+
+func TestInprocNetworkClose(t *testing.T) {
+	t.Parallel()
+	n := NewNetwork(NetworkConfig{})
+	a, _ := n.Attach(1)
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(subscribeMsg(1, 1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close = %v, want ErrClosed", err)
+	}
+	if _, err := n.Attach(3); !errors.Is(err, ErrClosed) {
+		t.Fatalf("attach after close = %v, want ErrClosed", err)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatalf("double close = %v", err)
+	}
+}
+
+func TestInprocConcurrentSenders(t *testing.T) {
+	t.Parallel()
+	n := NewNetwork(NetworkConfig{QueueLen: 4096})
+	defer n.Close()
+	dst, _ := n.Attach(100)
+	const senders, per = 8, 100
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		ep, err := n.Attach(proto.ProcessID(s + 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(ep *Endpoint) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				_ = ep.Send(subscribeMsg(ep.ID(), 100))
+			}
+		}(ep)
+	}
+	wg.Wait()
+	got := 0
+	deadline := time.After(2 * time.Second)
+	for got < senders*per {
+		select {
+		case <-dst.Recv():
+			got++
+		case <-deadline:
+			t.Fatalf("received %d of %d", got, senders*per)
+		}
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	t.Parallel()
+	a, err := NewUDP(1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewUDP(2, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := a.AddPeer(2, b.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	g := proto.Gossip{From: 1, Subs: []proto.ProcessID{1}, Events: []proto.Event{
+		{ID: proto.EventID{Origin: 1, Seq: 1}, Payload: []byte("over udp")},
+	}}
+	if err := a.Send(proto.Message{Kind: proto.GossipMsg, From: 1, To: 2, Gossip: &g}); err != nil {
+		t.Fatal(err)
+	}
+	m := recvOne(t, b, 2*time.Second)
+	if m.Kind != proto.GossipMsg || string(m.Gossip.Events[0].Payload) != "over udp" {
+		t.Fatalf("got %+v", m)
+	}
+}
+
+func TestUDPLearnsPeerFromTraffic(t *testing.T) {
+	t.Parallel()
+	a, err := NewUDP(1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewUDP(2, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	// b has no directory entry for 1 until 1 writes to it.
+	if err := b.Send(subscribeMsg(2, 1)); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("send to unknown peer = %v, want ErrUnknownPeer", err)
+	}
+	if err := a.AddPeer(2, b.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(subscribeMsg(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, b, 2*time.Second)
+	// Now b can reply without explicit AddPeer.
+	if err := b.Send(subscribeMsg(2, 1)); err != nil {
+		t.Fatalf("reply failed: %v", err)
+	}
+	m := recvOne(t, a, 2*time.Second)
+	if m.From != 2 {
+		t.Fatalf("reply from %v", m.From)
+	}
+}
+
+func TestUDPIgnoresGarbageDatagrams(t *testing.T) {
+	t.Parallel()
+	b, err := NewUDP(2, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	conn, err := net.Dial("udp", b.LocalAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("not a protocol message")); err != nil {
+		t.Fatal(err)
+	}
+	// Give the reader a moment, then check the failure counter.
+	deadline := time.Now().Add(time.Second)
+	for {
+		_, _, decodeErrs := b.Stats()
+		if decodeErrs == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("decode error not counted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	select {
+	case m := <-b.Recv():
+		t.Fatalf("garbage decoded into %+v", m)
+	default:
+	}
+}
+
+func TestUDPCloseIdempotent(t *testing.T) {
+	t.Parallel()
+	u, err := NewUDP(1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+	if err := u.Send(subscribeMsg(1, 2)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close = %v", err)
+	}
+	if err := u.AddPeer(2, "127.0.0.1:9"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("AddPeer after close = %v", err)
+	}
+}
+
+func TestUDPBadAddresses(t *testing.T) {
+	t.Parallel()
+	if _, err := NewUDP(1, "not an address"); err == nil {
+		t.Fatal("NewUDP accepted a bad address")
+	}
+	u, err := NewUDP(1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+	if err := u.AddPeer(2, "::bad::"); err == nil {
+		t.Fatal("AddPeer accepted a bad address")
+	}
+}

@@ -1,0 +1,171 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/proto"
+	"repro/internal/wire"
+)
+
+// maxDatagram is the largest datagram the UDP transport reads. Gossip
+// messages at the paper's parameters encode well under 8 KiB (see the wire
+// package's size test).
+const maxDatagram = 64 * 1024
+
+// UDP is a Transport over a real UDP socket using the internal/wire codec.
+// Peer addresses are registered explicitly (static directory) and learned
+// automatically from inbound traffic, so one seed address suffices to
+// join a running system.
+//
+// UDP is safe for concurrent use.
+type UDP struct {
+	id   proto.ProcessID
+	conn *net.UDPConn
+	in   chan proto.Message
+
+	mu     sync.Mutex
+	peers  map[proto.ProcessID]*net.UDPAddr
+	closed bool
+
+	readers sync.WaitGroup
+
+	sent, received, decodeErrs uint64
+}
+
+// NewUDP binds a UDP transport for process id at bindAddr (e.g.
+// "127.0.0.1:0"). The reader goroutine runs until Close.
+func NewUDP(id proto.ProcessID, bindAddr string) (*UDP, error) {
+	addr, err := net.ResolveUDPAddr("udp", bindAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %q: %w", bindAddr, err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %q: %w", bindAddr, err)
+	}
+	u := &UDP{
+		id:    id,
+		conn:  conn,
+		in:    make(chan proto.Message, 1024),
+		peers: make(map[proto.ProcessID]*net.UDPAddr),
+	}
+	u.readers.Add(1)
+	go u.readLoop()
+	return u, nil
+}
+
+// LocalAddr returns the bound address (useful with port 0).
+func (u *UDP) LocalAddr() string { return u.conn.LocalAddr().String() }
+
+// AddPeer registers the address of process p.
+func (u *UDP) AddPeer(p proto.ProcessID, addr string) error {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("transport: resolve peer %q: %w", addr, err)
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.closed {
+		return ErrClosed
+	}
+	u.peers[p] = ua
+	return nil
+}
+
+// readLoop decodes datagrams into the inbound channel and learns sender
+// addresses.
+func (u *UDP) readLoop() {
+	defer u.readers.Done()
+	buf := make([]byte, maxDatagram)
+	for {
+		n, from, err := u.conn.ReadFromUDP(buf)
+		if err != nil {
+			u.mu.Lock()
+			closed := u.closed
+			u.mu.Unlock()
+			if closed || errors.Is(err, net.ErrClosed) {
+				close(u.in)
+				return
+			}
+			continue // transient read error: keep serving
+		}
+		m, err := wire.Decode(buf[:n])
+		if err != nil {
+			u.mu.Lock()
+			u.decodeErrs++
+			u.mu.Unlock()
+			continue
+		}
+		u.mu.Lock()
+		if u.closed {
+			u.mu.Unlock()
+			close(u.in)
+			return
+		}
+		// Learn or refresh the sender's address.
+		if m.From != proto.NilProcess {
+			u.peers[m.From] = from
+		}
+		u.received++
+		u.mu.Unlock()
+		select {
+		case u.in <- m:
+		default: // inbox full: drop like a socket buffer overflow
+		}
+	}
+}
+
+// Send implements Transport.
+func (u *UDP) Send(m proto.Message) error {
+	if m.From == proto.NilProcess {
+		m.From = u.id
+	}
+	u.mu.Lock()
+	if u.closed {
+		u.mu.Unlock()
+		return ErrClosed
+	}
+	addr, ok := u.peers[m.To]
+	u.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrUnknownPeer, m.To)
+	}
+	buf, err := wire.Encode(m)
+	if err != nil {
+		return fmt.Errorf("transport: encode: %w", err)
+	}
+	if _, err := u.conn.WriteToUDP(buf, addr); err != nil {
+		return fmt.Errorf("transport: send to %v: %w", m.To, err)
+	}
+	u.mu.Lock()
+	u.sent++
+	u.mu.Unlock()
+	return nil
+}
+
+// Recv implements Transport.
+func (u *UDP) Recv() <-chan proto.Message { return u.in }
+
+// Stats returns datagrams sent, received, and decode failures.
+func (u *UDP) Stats() (sent, received, decodeErrs uint64) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.sent, u.received, u.decodeErrs
+}
+
+// Close implements Transport.
+func (u *UDP) Close() error {
+	u.mu.Lock()
+	if u.closed {
+		u.mu.Unlock()
+		return nil
+	}
+	u.closed = true
+	u.mu.Unlock()
+	err := u.conn.Close()
+	u.readers.Wait()
+	return err
+}

@@ -1,0 +1,349 @@
+// Package wire encodes protocol messages into a compact, versioned binary
+// format suitable for UDP datagrams, using only the standard library
+// (encoding/binary varints). The format is:
+//
+//	magic byte 'L' | version 1 | kind | from | to | kind-specific body
+//
+// All integers are unsigned varints. Decoding is defensive: every count is
+// bounded before allocation so a corrupt or hostile datagram cannot force
+// large allocations, and all errors are reported rather than panicking.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/proto"
+)
+
+const (
+	magic   byte = 'L'
+	version byte = 1
+)
+
+// Decode limits: a datagram announcing more than these counts is rejected
+// outright. They are far above anything the protocol produces.
+const (
+	maxListLen    = 1 << 16
+	maxPayloadLen = 1 << 20
+)
+
+// ErrTruncated is returned when a message ends before its announced
+// content.
+var ErrTruncated = errors.New("wire: truncated message")
+
+// ErrBadMagic is returned for messages not starting with the magic byte.
+var ErrBadMagic = errors.New("wire: bad magic byte")
+
+// ErrBadVersion is returned for unsupported format versions.
+var ErrBadVersion = errors.New("wire: unsupported version")
+
+type encoder struct {
+	buf []byte
+	tmp [binary.MaxVarintLen64]byte
+}
+
+func (e *encoder) byte(b byte) { e.buf = append(e.buf, b) }
+
+func (e *encoder) uvarint(v uint64) {
+	n := binary.PutUvarint(e.tmp[:], v)
+	e.buf = append(e.buf, e.tmp[:n]...)
+}
+
+func (e *encoder) bytes(b []byte) {
+	e.uvarint(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+func (e *encoder) pid(p proto.ProcessID) { e.uvarint(uint64(p)) }
+
+func (e *encoder) eventID(id proto.EventID) {
+	e.pid(id.Origin)
+	e.uvarint(id.Seq)
+}
+
+func (e *encoder) event(ev proto.Event) {
+	e.eventID(ev.ID)
+	e.bytes(ev.Payload)
+}
+
+func (e *encoder) idList(ids []proto.EventID) {
+	e.uvarint(uint64(len(ids)))
+	for _, id := range ids {
+		e.eventID(id)
+	}
+}
+
+type decoder struct {
+	buf []byte
+	off int
+}
+
+func (d *decoder) byte() (byte, error) {
+	if d.off >= len(d.buf) {
+		return 0, ErrTruncated
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b, nil
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, ErrTruncated
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *decoder) count(max int) (int, error) {
+	v, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(max) {
+		return 0, fmt.Errorf("wire: count %d exceeds limit %d", v, max)
+	}
+	return int(v), nil
+}
+
+func (d *decoder) bytes() ([]byte, error) {
+	n, err := d.count(maxPayloadLen)
+	if err != nil {
+		return nil, err
+	}
+	if d.off+n > len(d.buf) {
+		return nil, ErrTruncated
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]byte, n)
+	copy(out, d.buf[d.off:d.off+n])
+	d.off += n
+	return out, nil
+}
+
+func (d *decoder) pid() (proto.ProcessID, error) {
+	v, err := d.uvarint()
+	return proto.ProcessID(v), err
+}
+
+func (d *decoder) eventID() (proto.EventID, error) {
+	origin, err := d.pid()
+	if err != nil {
+		return proto.EventID{}, err
+	}
+	seq, err := d.uvarint()
+	if err != nil {
+		return proto.EventID{}, err
+	}
+	return proto.EventID{Origin: origin, Seq: seq}, nil
+}
+
+func (d *decoder) event() (proto.Event, error) {
+	id, err := d.eventID()
+	if err != nil {
+		return proto.Event{}, err
+	}
+	payload, err := d.bytes()
+	if err != nil {
+		return proto.Event{}, err
+	}
+	return proto.Event{ID: id, Payload: payload}, nil
+}
+
+func (d *decoder) idList() ([]proto.EventID, error) {
+	n, err := d.count(maxListLen)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]proto.EventID, n)
+	for i := range out {
+		if out[i], err = d.eventID(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Encode serializes m.
+func Encode(m proto.Message) ([]byte, error) {
+	e := &encoder{buf: make([]byte, 0, 256)}
+	e.byte(magic)
+	e.byte(version)
+	e.byte(byte(m.Kind))
+	e.pid(m.From)
+	e.pid(m.To)
+	switch m.Kind {
+	case proto.GossipMsg:
+		if m.Gossip == nil {
+			return nil, errors.New("wire: gossip message without gossip body")
+		}
+		g := m.Gossip
+		e.pid(g.From)
+		e.uvarint(uint64(len(g.Subs)))
+		for _, p := range g.Subs {
+			e.pid(p)
+		}
+		e.uvarint(uint64(len(g.Unsubs)))
+		for _, u := range g.Unsubs {
+			e.pid(u.Process)
+			e.uvarint(u.Stamp)
+		}
+		e.uvarint(uint64(len(g.Events)))
+		for _, ev := range g.Events {
+			e.event(ev)
+		}
+		e.idList(g.Digest)
+		e.idList(g.DigestWatermarks)
+	case proto.SubscribeMsg:
+		e.pid(m.Subscriber)
+	case proto.RetransmitRequestMsg:
+		e.idList(m.Request)
+	case proto.RetransmitReplyMsg:
+		e.uvarint(uint64(len(m.Reply)))
+		for _, ev := range m.Reply {
+			e.event(ev)
+		}
+		e.uvarint(uint64(len(m.ReplyHops)))
+		for _, h := range m.ReplyHops {
+			e.uvarint(uint64(h))
+		}
+	default:
+		return nil, fmt.Errorf("wire: cannot encode message kind %v", m.Kind)
+	}
+	return e.buf, nil
+}
+
+// Decode parses a message previously produced by Encode.
+func Decode(buf []byte) (proto.Message, error) {
+	d := &decoder{buf: buf}
+	var m proto.Message
+
+	mg, err := d.byte()
+	if err != nil {
+		return m, err
+	}
+	if mg != magic {
+		return m, ErrBadMagic
+	}
+	ver, err := d.byte()
+	if err != nil {
+		return m, err
+	}
+	if ver != version {
+		return m, fmt.Errorf("%w: %d", ErrBadVersion, ver)
+	}
+	kind, err := d.byte()
+	if err != nil {
+		return m, err
+	}
+	m.Kind = proto.MessageKind(kind)
+	if m.From, err = d.pid(); err != nil {
+		return m, err
+	}
+	if m.To, err = d.pid(); err != nil {
+		return m, err
+	}
+
+	switch m.Kind {
+	case proto.GossipMsg:
+		var g proto.Gossip
+		if g.From, err = d.pid(); err != nil {
+			return m, err
+		}
+		n, err := d.count(maxListLen)
+		if err != nil {
+			return m, err
+		}
+		if n > 0 {
+			g.Subs = make([]proto.ProcessID, n)
+			for i := range g.Subs {
+				if g.Subs[i], err = d.pid(); err != nil {
+					return m, err
+				}
+			}
+		}
+		if n, err = d.count(maxListLen); err != nil {
+			return m, err
+		}
+		if n > 0 {
+			g.Unsubs = make([]proto.Unsubscription, n)
+			for i := range g.Unsubs {
+				if g.Unsubs[i].Process, err = d.pid(); err != nil {
+					return m, err
+				}
+				if g.Unsubs[i].Stamp, err = d.uvarint(); err != nil {
+					return m, err
+				}
+			}
+		}
+		if n, err = d.count(maxListLen); err != nil {
+			return m, err
+		}
+		if n > 0 {
+			g.Events = make([]proto.Event, n)
+			for i := range g.Events {
+				if g.Events[i], err = d.event(); err != nil {
+					return m, err
+				}
+			}
+		}
+		if g.Digest, err = d.idList(); err != nil {
+			return m, err
+		}
+		if g.DigestWatermarks, err = d.idList(); err != nil {
+			return m, err
+		}
+		m.Gossip = &g
+	case proto.SubscribeMsg:
+		if m.Subscriber, err = d.pid(); err != nil {
+			return m, err
+		}
+	case proto.RetransmitRequestMsg:
+		if m.Request, err = d.idList(); err != nil {
+			return m, err
+		}
+	case proto.RetransmitReplyMsg:
+		n, err := d.count(maxListLen)
+		if err != nil {
+			return m, err
+		}
+		if n > 0 {
+			m.Reply = make([]proto.Event, n)
+			for i := range m.Reply {
+				if m.Reply[i], err = d.event(); err != nil {
+					return m, err
+				}
+			}
+		}
+		if n, err = d.count(maxListLen); err != nil {
+			return m, err
+		}
+		if n > 0 {
+			m.ReplyHops = make([]uint32, n)
+			for i := range m.ReplyHops {
+				h, err := d.uvarint()
+				if err != nil {
+					return m, err
+				}
+				if h > 1<<31 {
+					return m, fmt.Errorf("wire: hop count %d out of range", h)
+				}
+				m.ReplyHops[i] = uint32(h)
+			}
+		}
+	default:
+		return m, fmt.Errorf("wire: unknown message kind %d", kind)
+	}
+	if d.off != len(buf) {
+		return m, fmt.Errorf("wire: %d trailing bytes", len(buf)-d.off)
+	}
+	return m, nil
+}

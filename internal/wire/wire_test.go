@@ -1,0 +1,298 @@
+package wire
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/proto"
+)
+
+func sampleGossip() proto.Message {
+	return proto.Message{
+		Kind: proto.GossipMsg,
+		From: 7,
+		To:   9,
+		Gossip: &proto.Gossip{
+			From:   7,
+			Subs:   []proto.ProcessID{7, 12, 13},
+			Unsubs: []proto.Unsubscription{{Process: 4, Stamp: 1000}},
+			Events: []proto.Event{
+				{ID: proto.EventID{Origin: 7, Seq: 1}, Payload: []byte("hello")},
+				{ID: proto.EventID{Origin: 8, Seq: 2}},
+			},
+			Digest:           []proto.EventID{{Origin: 7, Seq: 1}, {Origin: 8, Seq: 2}},
+			DigestWatermarks: []proto.EventID{{Origin: 7, Seq: 10}},
+		},
+	}
+}
+
+func roundTrip(t *testing.T, m proto.Message) proto.Message {
+	t.Helper()
+	buf, err := Encode(m)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	return got
+}
+
+func TestRoundTripGossip(t *testing.T) {
+	t.Parallel()
+	m := sampleGossip()
+	got := roundTrip(t, m)
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("round trip mismatch:\nsent %+v\ngot  %+v", m, got)
+	}
+}
+
+func TestRoundTripEmptyGossip(t *testing.T) {
+	t.Parallel()
+	m := proto.Message{Kind: proto.GossipMsg, From: 1, To: 2, Gossip: &proto.Gossip{From: 1}}
+	got := roundTrip(t, m)
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", m, got)
+	}
+}
+
+func TestRoundTripSubscribe(t *testing.T) {
+	t.Parallel()
+	m := proto.Message{Kind: proto.SubscribeMsg, From: 3, To: 4, Subscriber: 3}
+	got := roundTrip(t, m)
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", m, got)
+	}
+}
+
+func TestRoundTripRetransmitRequest(t *testing.T) {
+	t.Parallel()
+	m := proto.Message{
+		Kind:    proto.RetransmitRequestMsg,
+		From:    1,
+		To:      2,
+		Request: []proto.EventID{{Origin: 5, Seq: 6}},
+	}
+	got := roundTrip(t, m)
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", m, got)
+	}
+}
+
+func TestRoundTripRetransmitReply(t *testing.T) {
+	t.Parallel()
+	m := proto.Message{
+		Kind:      proto.RetransmitReplyMsg,
+		From:      1,
+		To:        2,
+		Reply:     []proto.Event{{ID: proto.EventID{Origin: 5, Seq: 6}, Payload: []byte{0, 1, 2}}},
+		ReplyHops: []uint32{3},
+	}
+	got := roundTrip(t, m)
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", m, got)
+	}
+}
+
+func TestEncodeRejectsBadMessages(t *testing.T) {
+	t.Parallel()
+	if _, err := Encode(proto.Message{Kind: proto.GossipMsg}); err == nil {
+		t.Error("encoded gossip without body")
+	}
+	if _, err := Encode(proto.Message{Kind: proto.MessageKind(77)}); err == nil {
+		t.Error("encoded unknown kind")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name string
+		buf  []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"bad magic", []byte{'X', 1, 1}, ErrBadMagic},
+		{"bad version", []byte{'L', 9, 1}, ErrBadVersion},
+		{"kind only", []byte{'L', 1}, ErrTruncated},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			_, err := Decode(c.buf)
+			if err == nil {
+				t.Fatal("Decode succeeded on garbage")
+			}
+			if c.want != nil && !errors.Is(err, c.want) {
+				t.Fatalf("err = %v, want %v", err, c.want)
+			}
+		})
+	}
+}
+
+func TestDecodeRejectsTruncations(t *testing.T) {
+	t.Parallel()
+	buf, err := Encode(sampleGossip())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every strict prefix must fail cleanly, never panic.
+	for i := 0; i < len(buf); i++ {
+		if _, err := Decode(buf[:i]); err == nil {
+			t.Fatalf("prefix of length %d decoded successfully", i)
+		}
+	}
+}
+
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	t.Parallel()
+	buf, err := Encode(sampleGossip())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(append(buf, 0xFF)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestDecodeRejectsHugeCounts(t *testing.T) {
+	t.Parallel()
+	// Craft a gossip header announcing 2^40 subs.
+	buf := []byte{'L', 1, byte(proto.GossipMsg), 1, 2, 1}
+	buf = append(buf, 0x80, 0x80, 0x80, 0x80, 0x80, 0x20) // uvarint 2^40
+	if _, err := Decode(buf); err == nil {
+		t.Fatal("huge count accepted")
+	}
+}
+
+func TestDecodeRandomBytesNeverPanics(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		n := r.Intn(64)
+		buf := make([]byte, n)
+		r.Read(buf)
+		_, _ = Decode(buf) // must not panic
+	}
+}
+
+func TestDecodeMutatedMessagesNeverPanic(t *testing.T) {
+	t.Parallel()
+	base, err := Encode(sampleGossip())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		buf := append([]byte(nil), base...)
+		for j := 0; j < 1+r.Intn(4); j++ {
+			buf[r.Intn(len(buf))] ^= byte(1 << r.Intn(8))
+		}
+		if m, err := Decode(buf); err == nil {
+			// A mutated message may still decode; it must at least be
+			// structurally sound.
+			if m.Kind == proto.GossipMsg && m.Gossip == nil {
+				t.Fatal("decoded gossip without body")
+			}
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	t.Parallel()
+	if err := quick.Check(func(from, to, origin uint16, seq uint64, payload []byte, subsRaw []uint16, stamps []uint32) bool {
+		subs := make([]proto.ProcessID, len(subsRaw))
+		for i, s := range subsRaw {
+			subs[i] = proto.ProcessID(s)
+		}
+		unsubs := make([]proto.Unsubscription, len(stamps))
+		for i, s := range stamps {
+			unsubs[i] = proto.Unsubscription{Process: proto.ProcessID(i + 1), Stamp: uint64(s)}
+		}
+		if len(payload) == 0 {
+			payload = nil
+		}
+		if len(subs) == 0 {
+			subs = nil
+		}
+		if len(unsubs) == 0 {
+			unsubs = nil
+		}
+		m := proto.Message{
+			Kind: proto.GossipMsg,
+			From: proto.ProcessID(from),
+			To:   proto.ProcessID(to),
+			Gossip: &proto.Gossip{
+				From:   proto.ProcessID(from),
+				Subs:   subs,
+				Unsubs: unsubs,
+				Events: []proto.Event{{ID: proto.EventID{Origin: proto.ProcessID(origin), Seq: seq}, Payload: payload}},
+			},
+		}
+		buf, err := Encode(m)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(m, got)
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodedSizeIsCompact(t *testing.T) {
+	t.Parallel()
+	// A default-shaped gossip (15 subs, 60 digest ids, 40 small events) must
+	// fit comfortably in one UDP datagram.
+	g := &proto.Gossip{From: 1}
+	for i := 0; i < 15; i++ {
+		g.Subs = append(g.Subs, proto.ProcessID(i+1))
+	}
+	for i := 0; i < 60; i++ {
+		g.Digest = append(g.Digest, proto.EventID{Origin: proto.ProcessID(i%8 + 1), Seq: uint64(i)})
+	}
+	for i := 0; i < 40; i++ {
+		g.Events = append(g.Events, proto.Event{
+			ID:      proto.EventID{Origin: 1, Seq: uint64(i)},
+			Payload: []byte("0123456789abcdef"),
+		})
+	}
+	buf, err := Encode(proto.Message{Kind: proto.GossipMsg, From: 1, To: 2, Gossip: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) > 8192 {
+		t.Errorf("encoded size %d exceeds 8 KiB", len(buf))
+	}
+}
+
+func BenchmarkEncodeGossip(b *testing.B) {
+	m := sampleGossip()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeGossip(b *testing.B) {
+	buf, err := Encode(sampleGossip())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
