@@ -12,6 +12,8 @@
 package lpbcast
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -26,6 +28,16 @@ import (
 
 // benchScale keeps -bench=. affordable; the cmd tools run FullScale.
 func benchScale() sim.FigureScale { return sim.QuickScale() }
+
+// benchWorkers is the shard count of the parallel executor variants: all
+// cores, but at least 2 so the sharded code path (and its zero-alloc
+// emission) is exercised even on a single-core runner.
+func benchWorkers() int {
+	if w := runtime.GOMAXPROCS(0); w > 2 {
+		return w
+	}
+	return 2
+}
 
 // logTable renders tbl under -v.
 func logTable(b *testing.B, tbl *stats.Table) {
@@ -110,32 +122,80 @@ func BenchmarkEquation5Partition(b *testing.B) {
 
 // BenchmarkFigure5aSimVsAnalysis regenerates Fig. 5(a): simulated vs
 // analytical infection curves for n ∈ {125, 250, 500}. Reported metric:
-// the largest |sim - theory| gap at n=125, in processes.
+// the largest |sim - theory| gap at n=125, in processes. The sub-benchmarks
+// compare the sequential round executor against the sharded parallel one
+// (identical output; only ns/op and allocs/op change).
 func BenchmarkFigure5aSimVsAnalysis(b *testing.B) {
-	var tbl *stats.Table
-	for i := 0; i < b.N; i++ {
-		var err error
-		tbl, err = sim.Figure5a(benchScale())
-		if err != nil {
-			b.Fatal(err)
-		}
-	}
-	maxGap := 0.0
-	for r := 0.0; r <= 10; r++ {
-		th, ok1 := tbl.Series[0].YAt(r) // n=125,theory
-		pr, ok2 := tbl.Series[1].YAt(r) // n=125,practice
-		if ok1 && ok2 {
-			gap := th - pr
-			if gap < 0 {
-				gap = -gap
+	for _, v := range []struct {
+		name    string
+		workers int
+	}{
+		{"workers=1", 0},
+		{fmt.Sprintf("workers=%d", benchWorkers()), benchWorkers()},
+	} {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
+			scale := benchScale().WithWorkers(v.workers)
+			var tbl *stats.Table
+			for i := 0; i < b.N; i++ {
+				var err error
+				tbl, err = sim.Figure5a(scale)
+				if err != nil {
+					b.Fatal(err)
+				}
 			}
-			if gap > maxGap {
-				maxGap = gap
+			maxGap := 0.0
+			for r := 0.0; r <= 10; r++ {
+				th, ok1 := tbl.Series[0].YAt(r) // n=125,theory
+				pr, ok2 := tbl.Series[1].YAt(r) // n=125,practice
+				if ok1 && ok2 {
+					gap := th - pr
+					if gap < 0 {
+						gap = -gap
+					}
+					if gap > maxGap {
+						maxGap = gap
+					}
+				}
 			}
-		}
+			b.ReportMetric(maxGap, "max-gap@n=125")
+			logTable(b, tbl)
+		})
 	}
-	b.ReportMetric(maxGap, "max-gap@n=125")
-	logTable(b, tbl)
+}
+
+// BenchmarkInfection10k measures the executor head to head at production
+// scale: one 10,000-process infection trace (12 rounds, |view|=15, F=3),
+// sequential vs sharded. The results are bit-identical; the sharded
+// executor should win on both time and allocations (shared-gossip
+// emission, pooled round buffers).
+func BenchmarkInfection10k(b *testing.B) {
+	for _, v := range []struct {
+		name    string
+		workers int
+	}{
+		{"workers=1", 0},
+		{fmt.Sprintf("workers=%d", benchWorkers()), benchWorkers()},
+	} {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var infected float64
+			for i := 0; i < b.N; i++ {
+				o := sim.DefaultOptions(10_000)
+				o.Seed = 3
+				o.Workers = v.workers
+				o.Lpbcast.AssumeFromDigest = true
+				res, err := sim.InfectionExperiment(o, 12, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				infected = res.PerRound[len(res.PerRound)-1]
+			}
+			b.ReportMetric(infected, "infected@round12")
+		})
+	}
 }
 
 // BenchmarkFigure5bViewSize regenerates Fig. 5(b): infection curves for

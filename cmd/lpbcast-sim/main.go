@@ -9,12 +9,22 @@
 //	lpbcast-sim                 # all figures at full scale (slow-ish)
 //	lpbcast-sim -fig 6b         # a single figure
 //	lpbcast-sim -quick          # reduced repeats/rounds for a fast look
+//	lpbcast-sim -workers 8      # sharded parallel round executor
+//	lpbcast-sim -matrix "n=500,1000;f=3,4;proto=lpbcast"
+//
+// The -matrix flag runs a scenario sweep instead of the figures: a
+// semicolon-separated grid of n (system sizes), f (fanouts), eps (loss
+// probabilities), tau (crash fractions), proto (lpbcast, pbcast/partial,
+// pbcast/total), rounds, repeats and seed. Cells run concurrently and the
+// sweep is deterministic for a given spec.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -30,16 +40,50 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("lpbcast-sim", flag.ContinueOnError)
 	var (
-		fig   = fs.String("fig", "all", "figure to print: 5a, 5b, 6a, 6b, 7a, 7b, crash, all")
-		quick = fs.Bool("quick", false, "use reduced repeats/rounds")
+		fig     = fs.String("fig", "all", "figure to print: 5a, 5b, 6a, 6b, 7a, 7b, crash, all")
+		quick   = fs.Bool("quick", false, "use reduced repeats/rounds")
+		workers = fs.Int("workers", -1, "round-executor shards per cluster (-1 = GOMAXPROCS, 0/1 = sequential)")
+		matrix  = fs.String("matrix", "", `scenario sweep spec, e.g. "n=500,1000;f=3,4;eps=0.05;tau=0.01;proto=lpbcast"`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	workersSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "workers" {
+			workersSet = true
+		}
+	})
+
+	if *matrix != "" {
+		spec, err := parseMatrixSpec(*matrix)
+		if err != nil {
+			return err
+		}
+		// A matrix sweep already runs GOMAXPROCS cells concurrently, so
+		// sharding inside every cell as well would only oversubscribe the
+		// machine; per-cell workers are opt-in here.
+		if workersSet {
+			spec.Workers = *workers
+		}
+		cells, err := sim.RunMatrix(spec)
+		if err != nil {
+			return err
+		}
+		for _, c := range cells {
+			if c.Err != nil {
+				return fmt.Errorf("cell %s n=%d: %w", c.Name(), c.N, c.Err)
+			}
+		}
+		fmt.Print(sim.MatrixTable(cells).Render())
+		return nil
+	}
+
 	scale := sim.FullScale()
 	if *quick {
 		scale = sim.QuickScale()
 	}
+	scale = scale.WithWorkers(*workers)
 
 	printers := map[string]func(sim.FigureScale) (*stats.Table, error){
 		"5a": sim.Figure5a,
@@ -75,4 +119,105 @@ func run(args []string) error {
 		fmt.Println()
 	}
 	return nil
+}
+
+// parseMatrixSpec parses the compact -matrix grammar: semicolon-separated
+// key=value fields whose values are comma-separated lists. Unknown keys
+// are rejected; omitted dimensions use RunMatrix's defaults.
+func parseMatrixSpec(s string) (sim.MatrixSpec, error) {
+	var spec sim.MatrixSpec
+	for _, field := range strings.Split(s, ";") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return spec, fmt.Errorf("matrix: field %q is not key=value", field)
+		}
+		key = strings.TrimSpace(key)
+		vals := strings.Split(val, ",")
+		var err error
+		switch key {
+		case "n":
+			spec.Ns, err = parseInts(vals)
+		case "f":
+			spec.Fanouts, err = parseInts(vals)
+		case "eps":
+			spec.Epsilons, err = parseFloats(vals)
+		case "tau":
+			spec.Taus, err = parseFloats(vals)
+		case "proto":
+			spec.Protocols, err = parseProtocols(vals)
+		case "rounds":
+			spec.Rounds, err = parseSingleInt(key, vals)
+		case "repeats":
+			spec.Repeats, err = parseSingleInt(key, vals)
+		case "seed":
+			var seed int
+			seed, err = parseSingleInt(key, vals)
+			spec.Seed = uint64(seed)
+		default:
+			return spec, fmt.Errorf("matrix: unknown key %q (want n, f, eps, tau, proto, rounds, repeats, seed)", key)
+		}
+		if err != nil {
+			return spec, err
+		}
+	}
+	if len(spec.Ns) == 0 {
+		return spec, fmt.Errorf("matrix: the n dimension is required")
+	}
+	return spec, nil
+}
+
+func parseInts(vals []string) ([]int, error) {
+	out := make([]int, 0, len(vals))
+	for _, v := range vals {
+		n, err := strconv.Atoi(strings.TrimSpace(v))
+		if err != nil {
+			return nil, fmt.Errorf("matrix: bad integer %q", v)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func parseSingleInt(key string, vals []string) (int, error) {
+	if len(vals) != 1 {
+		return 0, fmt.Errorf("matrix: %s takes a single value", key)
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(vals[0]))
+	if err != nil {
+		return 0, fmt.Errorf("matrix: bad integer %q", vals[0])
+	}
+	return n, nil
+}
+
+func parseFloats(vals []string) ([]float64, error) {
+	out := make([]float64, 0, len(vals))
+	for _, v := range vals {
+		f, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+		if err != nil {
+			return nil, fmt.Errorf("matrix: bad float %q", v)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func parseProtocols(vals []string) ([]sim.Protocol, error) {
+	out := make([]sim.Protocol, 0, len(vals))
+	for _, v := range vals {
+		switch strings.TrimSpace(v) {
+		case "lpbcast":
+			out = append(out, sim.Lpbcast)
+		case "pbcast/partial":
+			out = append(out, sim.PbcastPartial)
+		case "pbcast/total":
+			out = append(out, sim.PbcastTotal)
+		default:
+			return nil, fmt.Errorf("matrix: unknown protocol %q (want lpbcast, pbcast/partial, pbcast/total)", v)
+		}
+	}
+	return out, nil
 }

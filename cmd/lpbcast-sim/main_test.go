@@ -1,11 +1,69 @@
 package main
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
 
 func TestRunQuickFigure(t *testing.T) {
 	t.Parallel()
 	if err := run([]string{"-fig", "5b", "-quick"}); err != nil {
 		t.Fatalf("run(-fig 5b -quick): %v", err)
+	}
+}
+
+func TestRunQuickFigureParallel(t *testing.T) {
+	t.Parallel()
+	if err := run([]string{"-fig", "5b", "-quick", "-workers", "4"}); err != nil {
+		t.Fatalf("run(-fig 5b -quick -workers 4): %v", err)
+	}
+}
+
+func TestRunMatrix(t *testing.T) {
+	t.Parallel()
+	if err := run([]string{"-matrix", "n=60,125;f=3;rounds=6;repeats=1", "-workers", "2"}); err != nil {
+		t.Fatalf("run(-matrix): %v", err)
+	}
+}
+
+func TestParseMatrixSpec(t *testing.T) {
+	t.Parallel()
+	spec, err := parseMatrixSpec("n=125,250; f=3,4; eps=0.05; tau=0.01; proto=lpbcast,pbcast/total; rounds=8; repeats=2; seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sim.MatrixSpec{
+		Ns:        []int{125, 250},
+		Fanouts:   []int{3, 4},
+		Epsilons:  []float64{0.05},
+		Taus:      []float64{0.01},
+		Protocols: []sim.Protocol{sim.Lpbcast, sim.PbcastTotal},
+		Rounds:    8,
+		Repeats:   2,
+		Seed:      7,
+	}
+	if !reflect.DeepEqual(spec, want) {
+		t.Fatalf("parsed %+v, want %+v", spec, want)
+	}
+}
+
+func TestParseMatrixSpecErrors(t *testing.T) {
+	t.Parallel()
+	for _, bad := range []string{
+		"",                 // n is required
+		"f=3",              // n is required
+		"n=abc",            // bad int
+		"n=125;eps=x",      // bad float
+		"n=125;proto=smtp", // unknown protocol
+		"n=125;rounds=1,2", // single-valued key
+		"n=125;zap=1",      // unknown key
+		"n=125;rounds",     // not key=value
+	} {
+		if _, err := parseMatrixSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
 	}
 }
 

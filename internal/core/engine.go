@@ -342,30 +342,39 @@ func (e *Engine) noteDuplicate(id proto.EventID) {
 
 // HandleMessage processes one incoming protocol message and returns any
 // messages to transmit in response (retransmission traffic only — gossip
-// emission is driven by Tick).
+// emission is driven by Tick). It is a thin wrapper over
+// HandleMessageAppend that allocates a fresh slice per call; hot paths
+// (the simulator's sharded executor) use HandleMessageAppend directly.
 func (e *Engine) HandleMessage(m proto.Message, now uint64) []proto.Message {
+	return e.HandleMessageAppend(m, now, nil)
+}
+
+// HandleMessageAppend processes one incoming protocol message, appending
+// any response messages to out and returning the extended slice. When out
+// has sufficient capacity, the call performs no per-message allocation.
+func (e *Engine) HandleMessageAppend(m proto.Message, now uint64, out []proto.Message) []proto.Message {
 	switch m.Kind {
 	case proto.GossipMsg:
 		if m.Gossip == nil {
-			return nil
+			return out
 		}
-		return e.handleGossip(*m.Gossip, now)
+		return e.handleGossip(out, *m.Gossip, now)
 	case proto.SubscribeMsg:
 		e.handleSubscribe(m.Subscriber)
-		return nil
+		return out
 	case proto.RetransmitRequestMsg:
-		return e.handleRetransmitRequest(m)
+		return e.handleRetransmitRequest(out, m)
 	case proto.RetransmitReplyMsg:
 		e.handleRetransmitReply(m)
-		return nil
+		return out
 	default:
-		return nil
+		return out
 	}
 }
 
 // handleGossip runs the three reception phases of Fig. 1(a) plus digest
-// processing.
-func (e *Engine) handleGossip(g proto.Gossip, now uint64) []proto.Message {
+// processing, appending any retransmission request to out.
+func (e *Engine) handleGossip(out []proto.Message, g proto.Gossip, now uint64) []proto.Message {
 	e.stats.GossipsReceived++
 
 	// Phase 1: unsubscriptions update view and unSubs.
@@ -418,7 +427,7 @@ func (e *Engine) handleGossip(g proto.Gossip, now uint64) []proto.Message {
 	}
 
 	if len(missing) == 0 {
-		return nil
+		return out
 	}
 	e.stats.RetransmitRequests += uint64(len(missing))
 	// rpbcast-style third phase: pull from the dedicated logger when one
@@ -427,12 +436,12 @@ func (e *Engine) handleGossip(g proto.Gossip, now uint64) []proto.Message {
 	if e.cfg.Logger != proto.NilProcess && e.cfg.Logger != e.self {
 		server = e.cfg.Logger
 	}
-	return []proto.Message{{
+	return append(out, proto.Message{
 		Kind:    proto.RetransmitRequestMsg,
 		From:    e.self,
 		To:      server,
 		Request: missing,
-	}}
+	})
 }
 
 // maxWatermarkExpansion bounds how many unknown sequence numbers a single
@@ -469,8 +478,9 @@ func (e *Engine) handleSubscribe(p proto.ProcessID) {
 	e.mem.ApplySubs([]proto.ProcessID{p})
 }
 
-// handleRetransmitRequest answers from the archive.
-func (e *Engine) handleRetransmitRequest(m proto.Message) []proto.Message {
+// handleRetransmitRequest answers from the archive, appending the reply
+// message (if any) to out.
+func (e *Engine) handleRetransmitRequest(out []proto.Message, m proto.Message) []proto.Message {
 	var reply []proto.Event
 	for _, id := range m.Request {
 		if ev, ok := e.archive.Lookup(id); ok {
@@ -481,14 +491,14 @@ func (e *Engine) handleRetransmitRequest(m proto.Message) []proto.Message {
 		}
 	}
 	if len(reply) == 0 {
-		return nil
+		return out
 	}
-	return []proto.Message{{
+	return append(out, proto.Message{
 		Kind:  proto.RetransmitReplyMsg,
 		From:  e.self,
 		To:    m.From,
 		Reply: reply,
-	}}
+	})
 }
 
 // handleRetransmitReply delivers retransmitted notifications like phase 3.
@@ -517,13 +527,35 @@ func validID(id proto.EventID) bool {
 // message, send it to F random view members, then clear events. Gossiping
 // happens even with no fresh notifications, keeping digests and membership
 // information flowing. now is the current deployment time (rounds or ms).
+//
+// Tick is a compatibility wrapper over TickAppend that gives every
+// returned message its own deep copy of the gossip, so callers may retain
+// or mutate messages independently.
 func (e *Engine) Tick(now uint64) []proto.Message {
+	msgs := e.TickAppend(now, nil)
+	for i := range msgs {
+		if msgs[i].Gossip != nil {
+			gc := msgs[i].Gossip.Clone()
+			msgs[i].Gossip = &gc
+		}
+	}
+	return msgs
+}
+
+// TickAppend performs one periodic gossip emission like Tick, but appends
+// the outgoing messages to out and returns the extended slice. All
+// appended messages share one read-only *proto.Gossip (its slices are
+// freshly built and never mutated by the engine afterwards), so the call
+// does not allocate per emitted message: receivers must treat the gossip
+// as immutable, which every driver in this repository does — engines copy
+// events before retaining them and only read membership piggyback.
+func (e *Engine) TickAppend(now uint64, out []proto.Message) []proto.Message {
 	e.ticks++
 	targets := e.mem.Targets(e.cfg.Fanout)
 	if len(targets) == 0 {
-		return nil
+		return out
 	}
-	g := proto.Gossip{
+	g := &proto.Gossip{
 		From:   e.self,
 		Events: e.events.Items(),
 		Digest: e.digestIDs(),
@@ -535,22 +567,20 @@ func (e *Engine) Tick(now uint64) []proto.Message {
 	if e.cfg.DigestMode == CompactDigest {
 		g.DigestWatermarks = e.watermarks()
 	}
-	msgs := make([]proto.Message, 0, len(targets))
 	for _, t := range targets {
-		gc := g.Clone()
-		msgs = append(msgs, proto.Message{
+		out = append(out, proto.Message{
 			Kind:   proto.GossipMsg,
 			From:   e.self,
 			To:     t,
-			Gossip: &gc,
+			Gossip: g,
 		})
 	}
-	e.stats.GossipsSent += uint64(len(msgs))
+	e.stats.GossipsSent += uint64(len(targets))
 	// "events ← ∅" — each notification is gossiped at most once by this
 	// process; older copies live only in the archive.
 	e.events.Clear()
 	e.eventWeights = nil
-	return msgs
+	return out
 }
 
 // digestIDs returns the identifier digest to attach to an outgoing gossip.

@@ -1,0 +1,101 @@
+package pbcast
+
+import (
+	"testing"
+
+	"repro/internal/proto"
+	"repro/internal/rng"
+)
+
+// totalNode builds a TotalView node over n processes.
+func totalNode(t testing.TB, cfg Config) *Node {
+	t.Helper()
+	cfg.Mode = TotalView
+	n, err := New(1, cfg, nil, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []proto.ProcessID
+	for p := proto.ProcessID(1); p <= 64; p++ {
+		all = append(all, p)
+	}
+	n.SetTotalView(all)
+	return n
+}
+
+// tickAllocs measures steady-state allocations of one TickAppend call.
+func tickAllocs(t testing.TB, fanout int) float64 {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Fanout = fanout
+	n := totalNode(t, cfg)
+	buf := make([]proto.Message, 0, 64)
+	now := uint64(0)
+	return testing.AllocsPerRun(200, func() {
+		now++
+		buf = n.TickAppend(now, buf[:0])
+	})
+}
+
+// TestTickAppendNoAllocPerMessage mirrors the lpbcast hot-path gate for
+// the pbcast baseline: emission cost must not scale with the fanout.
+func TestTickAppendNoAllocPerMessage(t *testing.T) {
+	low := tickAllocs(t, 2)
+	high := tickAllocs(t, 10)
+	if high > low {
+		t.Errorf("TickAppend allocates per message: %v allocs at F=2 vs %v at F=10", low, high)
+	}
+	if low > 8 {
+		t.Errorf("TickAppend costs %v allocs per round; want a small constant", low)
+	}
+}
+
+// TestHandleMessageAppendZeroAllocKnownDigest: a digest gossip advertising
+// only messages the node already stores — the steady state of a converged
+// system — must be allocation-free.
+func TestHandleMessageAppendZeroAllocKnownDigest(t *testing.T) {
+	n := totalNode(t, DefaultConfig())
+	ev := n.Publish(nil)
+	dup := proto.Message{
+		Kind:   proto.GossipMsg,
+		From:   2,
+		To:     1,
+		Gossip: &proto.Gossip{From: 2, Digest: []proto.EventID{ev.ID}},
+	}
+	var out []proto.Message
+	allocs := testing.AllocsPerRun(200, func() {
+		out = n.HandleMessageAppend(dup, 2, out[:0])
+	})
+	if allocs != 0 {
+		t.Errorf("known-digest HandleMessageAppend allocates %v times per call, want 0", allocs)
+	}
+	if len(out) != 0 {
+		t.Errorf("known digest produced %d solicitations", len(out))
+	}
+}
+
+// TestTickCompatWrapperClones pins the wrapper contract: Tick deep-copies
+// per target, TickAppend shares the round's gossip.
+func TestTickCompatWrapperClones(t *testing.T) {
+	n := totalNode(t, DefaultConfig())
+	msgs := n.Tick(1)
+	if len(msgs) < 2 {
+		t.Fatalf("got %d messages, want >= 2", len(msgs))
+	}
+	for i := 1; i < len(msgs); i++ {
+		if msgs[i].Gossip == msgs[0].Gossip {
+			t.Fatal("Tick messages share a gossip; the wrapper must clone")
+		}
+	}
+
+	n2 := totalNode(t, DefaultConfig())
+	shared := n2.TickAppend(1, nil)
+	if len(shared) < 2 {
+		t.Fatalf("got %d messages, want >= 2", len(shared))
+	}
+	for i := 1; i < len(shared); i++ {
+		if shared[i].Gossip != shared[0].Gossip {
+			t.Fatal("TickAppend messages do not share the round's gossip")
+		}
+	}
+}

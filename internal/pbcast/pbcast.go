@@ -276,9 +276,29 @@ func (n *Node) targets() []proto.ProcessID {
 // previous round, then gossip a digest of advertisable messages to Fanout
 // targets. Solicited retransmissions ride the next Tick, which models the
 // one-period pull latency pbcast pays per hop.
+//
+// Tick is a compatibility wrapper over TickAppend that gives every
+// returned gossip message its own deep copy, so callers may retain or
+// mutate messages independently.
 func (n *Node) Tick(now uint64) []proto.Message {
-	out := n.pendingReplies
-	n.pendingReplies = nil
+	msgs := n.TickAppend(now, nil)
+	for i := range msgs {
+		if msgs[i].Gossip != nil {
+			gc := msgs[i].Gossip.Clone()
+			msgs[i].Gossip = &gc
+		}
+	}
+	return msgs
+}
+
+// TickAppend performs one anti-entropy round like Tick, but appends the
+// outgoing messages to out and returns the extended slice. All appended
+// digest gossips share one read-only *proto.Gossip, so the call does not
+// allocate per emitted message; receivers must treat the gossip as
+// immutable.
+func (n *Node) TickAppend(now uint64, out []proto.Message) []proto.Message {
+	out = append(out, n.pendingReplies...)
+	n.pendingReplies = n.pendingReplies[:0]
 
 	var digest []proto.EventID
 	for _, m := range n.store.Items() {
@@ -287,31 +307,37 @@ func (n *Node) Tick(now uint64) []proto.Message {
 			m.advertised++
 		}
 	}
-	g := proto.Gossip{From: n.self, Digest: digest}
+	g := &proto.Gossip{From: n.self, Digest: digest}
 	if n.mem != nil {
 		g.Subs = n.mem.MakeSubs()
 		g.Unsubs = n.mem.MakeUnsubs(now)
 	}
 	for _, t := range n.targets() {
-		gc := g.Clone()
-		out = append(out, proto.Message{Kind: proto.GossipMsg, From: n.self, To: t, Gossip: &gc})
+		out = append(out, proto.Message{Kind: proto.GossipMsg, From: n.self, To: t, Gossip: g})
 		n.stats.GossipsSent++
 	}
 	return out
 }
 
 // HandleMessage processes one incoming message, returning solicitations
-// (replies are deferred to the next Tick).
+// (replies are deferred to the next Tick). It is a thin wrapper over
+// HandleMessageAppend.
 func (n *Node) HandleMessage(m proto.Message, now uint64) []proto.Message {
+	return n.HandleMessageAppend(m, now, nil)
+}
+
+// HandleMessageAppend processes one incoming message, appending any
+// solicitations to out and returning the extended slice.
+func (n *Node) HandleMessageAppend(m proto.Message, now uint64, out []proto.Message) []proto.Message {
 	switch m.Kind {
 	case proto.GossipMsg:
 		if m.Gossip == nil {
-			return nil
+			return out
 		}
-		return n.handleGossip(*m.Gossip, now)
+		return n.handleGossip(out, *m.Gossip, now)
 	case proto.RetransmitRequestMsg:
 		n.queueRetransmissions(m)
-		return nil
+		return out
 	case proto.RetransmitReplyMsg:
 		for i, ev := range m.Reply {
 			hops := 0
@@ -320,20 +346,20 @@ func (n *Node) HandleMessage(m proto.Message, now uint64) []proto.Message {
 			}
 			n.receiveMessage(ev.Clone(), hops)
 		}
-		return nil
+		return out
 	case proto.SubscribeMsg:
 		if n.mem != nil && m.Subscriber != n.self && m.Subscriber != proto.NilProcess {
 			n.mem.ApplySubs([]proto.ProcessID{m.Subscriber})
 		}
-		return nil
+		return out
 	default:
-		return nil
+		return out
 	}
 }
 
 // handleGossip applies membership piggyback, then solicits any missing
-// messages from the digest sender.
-func (n *Node) handleGossip(g proto.Gossip, now uint64) []proto.Message {
+// messages from the digest sender, appending the solicitation to out.
+func (n *Node) handleGossip(out []proto.Message, g proto.Gossip, now uint64) []proto.Message {
 	n.stats.GossipsReceived++
 	if n.mem != nil {
 		n.mem.ApplyUnsubs(g.Unsubs, now)
@@ -346,15 +372,15 @@ func (n *Node) handleGossip(g proto.Gossip, now uint64) []proto.Message {
 		}
 	}
 	if len(missing) == 0 {
-		return nil
+		return out
 	}
 	n.stats.Solicitations += uint64(len(missing))
-	return []proto.Message{{
+	return append(out, proto.Message{
 		Kind:    proto.RetransmitRequestMsg,
 		From:    n.self,
 		To:      g.From,
 		Request: missing,
-	}}
+	})
 }
 
 // queueRetransmissions serves a solicitation from the local store; the

@@ -71,6 +71,12 @@ type Unsubscription struct {
 // Gossip is the protocol message of lpbcast (§3.2). One message serves four
 // purposes: carrying fresh notifications, a digest of delivered
 // notification identifiers, unsubscriptions, and subscriptions.
+//
+// Sharing contract: the engines' TickAppend hot path emits one Gossip
+// shared by all fanout targets of a round, so receivers must treat an
+// incoming Gossip (and everything it references) as read-only and Clone
+// events before retaining them. Callers that need independently mutable
+// messages use the Tick wrappers, which deep-copy via Clone.
 type Gossip struct {
 	// From is the sending process. The sender always includes itself in
 	// Subs as well (Fig. 1(b)); From additionally lets receivers answer

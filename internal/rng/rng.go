@@ -127,8 +127,19 @@ func (s *Source) Shuffle(n int, swap func(i, j int)) {
 	}
 }
 
+// smallSampleK bounds the map-free Sample fast path: at most one swap
+// entry is recorded per draw, so a fixed array of smallSampleK pairs
+// suffices.
+const smallSampleK = 16
+
 // Sample returns k distinct indices drawn uniformly from [0, n) in random
 // order. If k >= n it returns a permutation of all n indices.
+//
+// Both paths run the same partial Fisher–Yates over a lazily materialized
+// array and consume identical Intn draws, so the returned indices do not
+// depend on which bookkeeping structure is used. For the small k of gossip
+// fanouts the swap table lives in a fixed stack array, keeping the hot
+// emission path at a single allocation (the result slice).
 func (s *Source) Sample(n, k int) []int {
 	if k >= n {
 		return s.Perm(n)
@@ -136,10 +147,47 @@ func (s *Source) Sample(n, k int) []int {
 	if k <= 0 {
 		return nil
 	}
-	// Partial Fisher–Yates over a lazily materialized array: for the small k
-	// used by gossip fanouts this is O(k) time and O(k) extra space.
-	chosen := make(map[int]int, 2*k)
 	out := make([]int, k)
+	if k <= smallSampleK {
+		// Map-free fast path: linear scans over at most k recorded swaps.
+		var keys [smallSampleK]int
+		var vals [smallSampleK]int
+		used := 0
+		lookup := func(x int) (int, bool) {
+			for p := 0; p < used; p++ {
+				if keys[p] == x {
+					return vals[p], true
+				}
+			}
+			return 0, false
+		}
+		for i := 0; i < k; i++ {
+			j := i + s.Intn(n-i)
+			vj, ok := lookup(j)
+			if !ok {
+				vj = j
+			}
+			vi, ok := lookup(i)
+			if !ok {
+				vi = i
+			}
+			out[i] = vj
+			set := false
+			for p := 0; p < used; p++ {
+				if keys[p] == j {
+					vals[p] = vi
+					set = true
+					break
+				}
+			}
+			if !set {
+				keys[used], vals[used] = j, vi
+				used++
+			}
+		}
+		return out
+	}
+	chosen := make(map[int]int, 2*k)
 	for i := 0; i < k; i++ {
 		j := i + s.Intn(n-i)
 		vj, ok := chosen[j]

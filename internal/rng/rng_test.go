@@ -294,3 +294,63 @@ func BenchmarkSample(b *testing.B) {
 		_ = s.Sample(125, 3)
 	}
 }
+
+// sampleMapReference is the historical map-based Sample bookkeeping; the
+// fast path must consume the same draws and return the same indices.
+func sampleMapReference(s *Source, n, k int) []int {
+	if k >= n {
+		return s.Perm(n)
+	}
+	if k <= 0 {
+		return nil
+	}
+	chosen := make(map[int]int, 2*k)
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		j := i + s.Intn(n-i)
+		vj, ok := chosen[j]
+		if !ok {
+			vj = j
+		}
+		vi, ok := chosen[i]
+		if !ok {
+			vi = i
+		}
+		out[i] = vj
+		chosen[j] = vi
+	}
+	return out
+}
+
+func TestSampleFastPathMatchesMapPath(t *testing.T) {
+	t.Parallel()
+	for seed := uint64(1); seed <= 50; seed++ {
+		fast := New(seed)
+		ref := New(seed)
+		for _, nk := range [][2]int{{10, 1}, {10, 3}, {125, 3}, {125, 15}, {125, 16}, {40, 16}, {1000, 8}} {
+			n, k := nk[0], nk[1]
+			got := fast.Sample(n, k)
+			want := sampleMapReference(ref, n, k)
+			if len(got) != len(want) {
+				t.Fatalf("seed %d n=%d k=%d: len %d vs %d", seed, n, k, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d n=%d k=%d: Sample %v != reference %v", seed, n, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSampleNoAllocSmallK(t *testing.T) {
+	s := New(3)
+	allocs := testing.AllocsPerRun(200, func() {
+		_ = s.Sample(125, 3)
+	})
+	// One allocation: the returned slice. The swap table must stay on the
+	// stack.
+	if allocs > 1 {
+		t.Errorf("Sample(125, 3) allocates %v times per call, want <= 1", allocs)
+	}
+}

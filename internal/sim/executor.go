@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/proto"
+)
+
+// This file implements the sharded parallel round executor: the
+// synchronous-round semantics of RunRound (§5.1), executed across W worker
+// shards with results bit-for-bit identical to the sequential executor for
+// the same seed.
+//
+// Determinism argument. A synchronous round is two kinds of work:
+//
+//  1. Tick phase — every alive process emits its periodic gossip. Each
+//     engine draws only from its own split RNG and touches only its own
+//     state, so ticks of distinct processes commute. Shards are contiguous
+//     index ranges and each shard appends into its own outbox in index
+//     order; concatenating the outboxes in shard order reproduces the
+//     sequential queue exactly.
+//  2. Dispatch — the network applies crash filtering and Bernoulli loss,
+//     then receivers handle their messages, and same-round responses are
+//     chased hop by hop. The loss model draws from one shared RNG whose
+//     draw order is observable, so routing/filtering stays sequential (it
+//     is O(1) per message and cheap). Handling, the expensive part, is
+//     fanned out: survivors are binned per destination shard preserving
+//     queue order, each worker handles only its own processes' messages
+//     (per-engine state again), and every response span is tagged with the
+//     triggering message's queue position so the next hop's queue can be
+//     reassembled in exactly the sequential order.
+//
+// Delivery recording is a commutative set-union (see recorder), so the
+// only shared mutable state touched concurrently is behind its lock.
+
+// tickAppender is implemented by engines that support the zero-alloc
+// append emission path (core.Engine and pbcast.Node both do).
+type tickAppender interface {
+	TickAppend(now uint64, out []proto.Message) []proto.Message
+}
+
+// messageAppender is the matching receive-side interface.
+type messageAppender interface {
+	HandleMessageAppend(m proto.Message, now uint64, out []proto.Message) []proto.Message
+}
+
+// tickAppend drives p's emission through the append path when available,
+// falling back to the allocating wrapper for foreign Process
+// implementations (tests).
+func tickAppend(p Process, now uint64, out []proto.Message) []proto.Message {
+	if ta, ok := p.(tickAppender); ok {
+		return ta.TickAppend(now, out)
+	}
+	return append(out, p.Tick(now)...)
+}
+
+// handleAppend is the receive-side equivalent of tickAppend.
+func handleAppend(p Process, m proto.Message, now uint64, out []proto.Message) []proto.Message {
+	if ma, ok := p.(messageAppender); ok {
+		return ma.HandleMessageAppend(m, now, out)
+	}
+	return append(out, p.HandleMessage(m, now)...)
+}
+
+// effectiveWorkers resolves the Workers option: <0 means GOMAXPROCS, and
+// the shard count never exceeds the process count.
+func effectiveWorkers(workers, n int) int {
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	return workers
+}
+
+// routed is a queue message that survived filtering, bound for the process
+// at index di. pos is its position in the round's message queue, which
+// orders response merging across shards.
+type routed struct {
+	pos, di int
+}
+
+// respSpan records that handling the message at queue position pos
+// appended responses [start, end) to its shard's response buffer.
+type respSpan struct {
+	pos, shard, start, end int
+}
+
+// shardedExecutor runs synchronous rounds for a Cluster across worker
+// shards. All scratch buffers are retained between rounds, so the steady
+// state of a large experiment allocates only what the engines themselves
+// emit.
+type shardedExecutor struct {
+	c       *Cluster
+	workers int
+	lo, hi  []int // shard s owns process indices [lo[s], hi[s])
+	shardOf []int // process index -> shard
+
+	tickBufs [][]proto.Message // per-shard Tick outboxes
+	inboxes  [][]routed        // per-shard surviving messages, queue order
+	resps    [][]proto.Message // per-shard response buffers
+	spans    [][]respSpan      // per-shard response spans
+	merged   []respSpan        // cross-shard span merge scratch
+	queue    []proto.Message   // current hop's messages
+	next     []proto.Message   // next hop's messages
+}
+
+// newShardedExecutor partitions the cluster's processes into w contiguous
+// shards. Callers guarantee w >= 2 and w <= N.
+func newShardedExecutor(c *Cluster, w int) *shardedExecutor {
+	e := &shardedExecutor{
+		c:        c,
+		workers:  w,
+		lo:       make([]int, w),
+		hi:       make([]int, w),
+		shardOf:  make([]int, len(c.ids)),
+		tickBufs: make([][]proto.Message, w),
+		inboxes:  make([][]routed, w),
+		resps:    make([][]proto.Message, w),
+		spans:    make([][]respSpan, w),
+	}
+	n := len(c.ids)
+	base, rem := n/w, n%w
+	start := 0
+	for s := 0; s < w; s++ {
+		size := base
+		if s < rem {
+			size++
+		}
+		e.lo[s], e.hi[s] = start, start+size
+		for i := start; i < start+size; i++ {
+			e.shardOf[i] = s
+		}
+		start += size
+	}
+	return e
+}
+
+// parallel runs fn(shard) on every shard concurrently and waits.
+func (e *shardedExecutor) parallel(fn func(s int)) {
+	var wg sync.WaitGroup
+	wg.Add(e.workers)
+	for s := 0; s < e.workers; s++ {
+		go func(s int) {
+			defer wg.Done()
+			fn(s)
+		}(s)
+	}
+	wg.Wait()
+}
+
+// runRound executes one synchronous gossip round. Cluster.RunRound has
+// already advanced c.now.
+func (e *shardedExecutor) runRound() {
+	c := e.c
+	// Tick phase: each shard emits its processes' gossips in index order.
+	e.parallel(func(s int) {
+		buf := e.tickBufs[s][:0]
+		for i := e.lo[s]; i < e.hi[s]; i++ {
+			if c.crashes.Crashed(c.ids[i], c.now) {
+				continue
+			}
+			buf = tickAppend(c.procs[i], c.now, buf)
+		}
+		e.tickBufs[s] = buf
+	})
+	// Deterministic merge: shard order == process index order, the exact
+	// queue the sequential executor builds.
+	e.queue = e.queue[:0]
+	for s := 0; s < e.workers; s++ {
+		e.queue = append(e.queue, e.tickBufs[s]...)
+	}
+	e.dispatch()
+}
+
+// dispatch delivers the queued messages, chasing same-round responses up
+// to maxChase hops, exactly like the sequential Cluster.dispatch.
+func (e *shardedExecutor) dispatch() {
+	c := e.c
+	for hop := 0; len(e.queue) > 0 && hop < maxChase; hop++ {
+		// Filter phase (sequential): the loss model's RNG draws must
+		// happen in queue order, and the network counters with them.
+		for s := 0; s < e.workers; s++ {
+			e.inboxes[s] = e.inboxes[s][:0]
+		}
+		for pos, m := range e.queue {
+			c.net.Sent++
+			di, ok := c.index[m.To]
+			if !ok || c.crashes.Crashed(m.To, c.now) {
+				c.net.ToCrashed++
+				continue
+			}
+			if c.loss.Drop(m.From, m.To, c.now) {
+				c.net.Dropped++
+				continue
+			}
+			c.net.Delivered++
+			s := e.shardOf[di]
+			e.inboxes[s] = append(e.inboxes[s], routed{pos: pos, di: di})
+		}
+		// Handle phase (parallel): each shard processes its own
+		// processes' messages in queue order, recording response spans.
+		e.parallel(func(s int) {
+			resp := e.resps[s][:0]
+			spans := e.spans[s][:0]
+			for _, r := range e.inboxes[s] {
+				start := len(resp)
+				resp = handleAppend(c.procs[r.di], e.queue[r.pos], c.now, resp)
+				if len(resp) > start {
+					spans = append(spans, respSpan{pos: r.pos, shard: s, start: start, end: len(resp)})
+				}
+			}
+			e.resps[s] = resp
+			e.spans[s] = spans
+		})
+		// Merge phase: reassemble the next hop's queue in the order the
+		// sequential executor would have produced — ascending by the
+		// triggering message's queue position.
+		e.merged = e.merged[:0]
+		for s := 0; s < e.workers; s++ {
+			e.merged = append(e.merged, e.spans[s]...)
+		}
+		sort.Slice(e.merged, func(i, j int) bool { return e.merged[i].pos < e.merged[j].pos })
+		e.next = e.next[:0]
+		for _, sp := range e.merged {
+			e.next = append(e.next, e.resps[sp.shard][sp.start:sp.end]...)
+		}
+		e.queue, e.next = e.next, e.queue
+	}
+}

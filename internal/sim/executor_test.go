@@ -1,0 +1,232 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/proto"
+)
+
+// runBoth runs the same infection experiment through the sequential and
+// the sharded executor and returns both results.
+func runBoth(t *testing.T, opts Options, rounds, repeats, workers int) (seq, par InfectionResult) {
+	t.Helper()
+	o := opts
+	o.Workers = 0
+	seq, err := InfectionExperiment(o, rounds, repeats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o = opts
+	o.Workers = workers
+	par, err = InfectionExperiment(o, rounds, repeats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seq, par
+}
+
+// assertIdentical asserts structural and byte-level equality of the two
+// results: the determinism guarantee is bit-for-bit, not approximate.
+func assertIdentical(t *testing.T, label string, seq, par interface{}) {
+	t.Helper()
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("%s: parallel result differs from sequential\nseq: %+v\npar: %+v", label, seq, par)
+		return
+	}
+	if sb, pb := fmt.Sprintf("%#v", seq), fmt.Sprintf("%#v", par); sb != pb {
+		t.Errorf("%s: results not byte-identical\nseq: %s\npar: %s", label, sb, pb)
+	}
+}
+
+// TestParallelMatchesSequentialInfection is the tentpole's correctness
+// oracle: for several seeds and all three protocols, the sharded executor
+// must reproduce the sequential executor's infection traces exactly.
+func TestParallelMatchesSequentialInfection(t *testing.T) {
+	t.Parallel()
+	for _, protocol := range []Protocol{Lpbcast, PbcastPartial, PbcastTotal} {
+		for _, seed := range []uint64{1, 7, 42} {
+			protocol, seed := protocol, seed
+			t.Run(fmt.Sprintf("%s/seed=%d", protocol, seed), func(t *testing.T) {
+				t.Parallel()
+				opts := DefaultOptions(250)
+				opts.Seed = seed
+				opts.Protocol = protocol
+				opts.Lpbcast.AssumeFromDigest = true
+				opts.WarmupRounds = 2
+				seq, par := runBoth(t, opts, 8, 2, 4)
+				assertIdentical(t, "infection", seq, par)
+			})
+		}
+	}
+}
+
+// TestParallelMatchesSequential10k is the scale acceptance criterion: a
+// 10,000-process experiment through the parallel executor is byte-identical
+// to the sequential one.
+func TestParallelMatchesSequential10k(t *testing.T) {
+	t.Parallel()
+	opts := DefaultOptions(10_000)
+	opts.Seed = 3
+	opts.Lpbcast.AssumeFromDigest = true
+	seq, par := runBoth(t, opts, 12, 1, runtime.GOMAXPROCS(0))
+	assertIdentical(t, "infection@10k", seq, par)
+	// The run must actually disseminate; otherwise equality is vacuous.
+	if last := seq.PerRound[len(seq.PerRound)-1]; last < 9_500 {
+		t.Errorf("only %v of 10000 infected; dissemination failed", last)
+	}
+}
+
+// TestParallelMatchesSequentialReliability checks the second experiment
+// type end to end, including network counters, in synchronous mode (Async
+// reliability always runs sequentially by design).
+func TestParallelMatchesSequentialReliability(t *testing.T) {
+	t.Parallel()
+	base := DefaultReliabilityOptions(125)
+	base.Cluster.Async = false
+	base.Cluster.Seed = 11
+	base.PublishRounds = 8
+	base.DrainRounds = 8
+
+	seqOpts := base
+	seqOpts.Cluster.Workers = 0
+	seq, err := ReliabilityExperiment(seqOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parOpts := base
+	parOpts.Cluster.Workers = 4
+	par, err := ReliabilityExperiment(parOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, "reliability", seq, par)
+	if seq.Reliability <= 0 || seq.Events == 0 {
+		t.Errorf("degenerate run: %+v", seq)
+	}
+}
+
+// TestParallelMatchesSequentialRetransmit exercises the response-merge
+// path: with Retransmit enabled the chase loop carries request and reply
+// messages across hops, whose ordering the merge must reproduce exactly.
+func TestParallelMatchesSequentialRetransmit(t *testing.T) {
+	t.Parallel()
+	opts := DefaultOptions(150)
+	opts.Seed = 23
+	opts.Epsilon = 0.15 // losses create gaps for the pull path to repair
+	opts.Lpbcast.Retransmit = true
+	opts.Lpbcast.ArchiveSize = 500
+	seq, par := runBoth(t, opts, 10, 2, 5)
+	assertIdentical(t, "retransmit", seq, par)
+}
+
+// TestParallelWorkerCountInvariance: the determinism guarantee is not just
+// "parallel equals sequential" but independence from the shard count.
+func TestParallelWorkerCountInvariance(t *testing.T) {
+	t.Parallel()
+	opts := DefaultOptions(200)
+	opts.Seed = 99
+	opts.Lpbcast.AssumeFromDigest = true
+	var results []InfectionResult
+	for _, w := range []int{0, 2, 3, 8, 200} {
+		o := opts
+		o.Workers = w
+		res, err := InfectionExperiment(o, 8, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res)
+	}
+	for i := 1; i < len(results); i++ {
+		assertIdentical(t, fmt.Sprintf("workers variant %d", i), results[0], results[i])
+	}
+}
+
+// TestParallelViewInvariants is a seeded property test: after parallel
+// rounds with crashes and churn of membership information, every surviving
+// process's view still satisfies the §3 bounds — at most l members, no
+// self-reference, no duplicates.
+func TestParallelViewInvariants(t *testing.T) {
+	t.Parallel()
+	for _, protocol := range []Protocol{Lpbcast, PbcastPartial} {
+		for seed := uint64(1); seed <= 5; seed++ {
+			protocol, seed := protocol, seed
+			t.Run(fmt.Sprintf("%s/seed=%d", protocol, seed), func(t *testing.T) {
+				t.Parallel()
+				opts := DefaultOptions(300)
+				opts.Seed = seed
+				opts.Protocol = protocol
+				opts.Tau = 0.02
+				opts.Workers = 8
+				opts.WarmupRounds = 3
+				cluster, err := NewCluster(opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := cluster.PublishAt(0); err != nil {
+					t.Fatal(err)
+				}
+				for r := 0; r < 10; r++ {
+					cluster.RunRound()
+				}
+				maxView := opts.Lpbcast.Membership.MaxView
+				if protocol == PbcastPartial {
+					maxView = opts.Pbcast.Membership.MaxView
+				}
+				for pid, view := range cluster.Graph() {
+					if len(view) > maxView {
+						t.Errorf("%v: view size %d exceeds l=%d", pid, len(view), maxView)
+					}
+					seen := map[proto.ProcessID]bool{}
+					for _, q := range view {
+						if q == pid {
+							t.Errorf("%v: view contains self", pid)
+						}
+						if seen[q] {
+							t.Errorf("%v: duplicate view entry %v", pid, q)
+						}
+						seen[q] = true
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestEffectiveWorkers pins the Workers-option resolution rules.
+func TestEffectiveWorkers(t *testing.T) {
+	t.Parallel()
+	if got := effectiveWorkers(0, 100); got != 0 {
+		t.Errorf("effectiveWorkers(0) = %d", got)
+	}
+	if got := effectiveWorkers(4, 100); got != 4 {
+		t.Errorf("effectiveWorkers(4) = %d", got)
+	}
+	if got := effectiveWorkers(4, 2); got != 2 {
+		t.Errorf("effectiveWorkers(4, n=2) = %d, want clamped to n", got)
+	}
+	if got := effectiveWorkers(-1, 1<<20); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("effectiveWorkers(-1) = %d, want GOMAXPROCS", got)
+	}
+}
+
+// TestAsyncIgnoresWorkers: Async mode must run its serial immediate-
+// delivery semantics regardless of Workers, and stay deterministic.
+func TestAsyncIgnoresWorkers(t *testing.T) {
+	t.Parallel()
+	opts := DefaultReliabilityOptions(80)
+	opts.PublishRounds = 5
+	opts.DrainRounds = 5
+	seq, err := ReliabilityExperiment(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Cluster.Workers = 8
+	par, err := ReliabilityExperiment(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, "async", seq, par)
+}

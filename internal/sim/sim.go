@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/fault"
@@ -107,6 +108,15 @@ type Options struct {
 	// Synchronous mode (false) matches the paper's §5.1 simulations and
 	// the Markov analysis.
 	Async bool
+	// Workers selects the round executor: 0 or 1 runs rounds sequentially
+	// (the historical behavior); W > 1 runs the synchronous Tick and
+	// HandleMessage phases of each round on W sharded workers with a
+	// deterministic merge, producing results bit-for-bit identical to the
+	// sequential executor for the same seed. A negative value selects
+	// GOMAXPROCS workers. Async mode always executes sequentially (its
+	// immediate-delivery semantics are inherently serial), so Workers is
+	// ignored there.
+	Workers int
 }
 
 // DefaultOptions returns the paper's standard simulation setup for n
@@ -165,6 +175,7 @@ type Cluster struct {
 	now       uint64
 	net       NetStats
 	deliverFn func(owner proto.ProcessID, ev proto.Event)
+	par       *shardedExecutor // non-nil when Workers > 1
 }
 
 // NewCluster builds a cluster of n processes with uniformly random initial
@@ -235,6 +246,10 @@ func NewCluster(opts Options) (*Cluster, error) {
 		c.crashes.SampleCrashes(c.ids, opts.Tau, horizon, root.Split())
 	}
 
+	if w := effectiveWorkers(opts.Workers, opts.N); w > 1 && !opts.Async {
+		c.par = newShardedExecutor(c, w)
+	}
+
 	for i := 0; i < opts.WarmupRounds; i++ {
 		c.RunRound()
 	}
@@ -300,6 +315,10 @@ const maxChase = 16
 // paper's unsynchronized testbed.
 func (c *Cluster) RunRound() {
 	c.now++
+	if c.par != nil && !c.opts.Async {
+		c.par.runRound()
+		return
+	}
 	order := make([]int, len(c.procs))
 	for i := range order {
 		order[i] = i
@@ -397,8 +416,12 @@ func (c *Cluster) HasDelivered(pid proto.ProcessID, id proto.EventID) bool {
 	return c.rec.has(c.index[pid], id)
 }
 
-// recorder tracks first deliveries per (event, process).
+// recorder tracks first deliveries per (event, process). record is called
+// concurrently by the sharded executor's handle phase, so it locks; the
+// resulting counts are order-independent (a set union plus cardinality),
+// which keeps parallel runs bit-identical to sequential ones.
 type recorder struct {
+	mu     sync.Mutex
 	n      int
 	events map[proto.EventID]*eventRecord
 }
@@ -413,6 +436,8 @@ func newRecorder(n int) *recorder {
 }
 
 func (r *recorder) record(owner proto.ProcessID, ev proto.Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	rec, ok := r.events[ev.ID]
 	if !ok {
 		rec = &eventRecord{seen: make([]bool, r.n)}
