@@ -3,11 +3,14 @@ package lpbcast
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/membership"
 	"repro/internal/proto"
 	"repro/internal/rng"
+	"repro/internal/transport"
 )
 
 // ClusterConfig shapes an in-process cluster (see NewCluster) — the
@@ -30,6 +33,14 @@ type ClusterConfig struct {
 	Seed uint64
 	// NodeOptions apply to every node (view size, fanout, buffers, ...).
 	NodeOptions []Option
+	// Workers bounds the construction parallelism: engine and RNG setup
+	// for the N nodes fans out across this many goroutines. 0 means
+	// GOMAXPROCS. Construction is deterministic for any worker count —
+	// every per-node random stream derives from (Seed, id) alone.
+	Workers int
+	// DeferStart leaves the nodes unstarted; call Cluster.Start when ready.
+	// Useful to snapshot seeded views (Graph) before gossip mutates them.
+	DeferStart bool
 }
 
 // Cluster is a set of live Nodes on one in-process network.
@@ -38,9 +49,15 @@ type Cluster struct {
 	nodes   []*Node
 }
 
-// NewCluster builds and starts an N-node cluster whose views are seeded
-// with uniformly random peers, mirroring the uniform-view assumption of
-// the paper's analysis.
+// NewCluster builds (and, unless DeferStart is set, starts) an N-node
+// cluster whose views are seeded with uniformly random peers, mirroring
+// the uniform-view assumption of the paper's analysis.
+//
+// Construction is parallel: endpoints attach sequentially (cheap map
+// inserts), then engine and RNG setup — the sequential bottleneck at
+// N≥100k — fans out across Workers goroutines. Every node's randomness,
+// including its seed view, derives deterministically from (Seed, id), so
+// the same seed yields identical initial views for any worker count.
 func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.N < 2 {
 		return nil, errors.New("lpbcast: cluster needs at least 2 nodes")
@@ -55,44 +72,96 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		Seed:            cfg.Seed,
 	})
 	c := &Cluster{network: network}
-	seedRNG := rng.New(cfg.Seed ^ 0x5eed)
-	for i := 1; i <= cfg.N; i++ {
-		id := ProcessID(i)
-		ep, err := network.Attach(id)
+	c.nodes = make([]*Node, cfg.N)
+	eps := make([]*transport.Endpoint, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		ep, err := network.Attach(ProcessID(i + 1))
 		if err != nil {
 			c.Close()
-			return nil, fmt.Errorf("lpbcast: attach node %d: %w", i, err)
+			return nil, fmt.Errorf("lpbcast: attach node %d: %w", i+1, err)
 		}
-		opts := append([]Option{
-			WithGossipInterval(cfg.GossipInterval),
-			WithRNGSeed(cfg.Seed + uint64(i)*0x9e3779b97f4a7c15),
-		}, cfg.NodeOptions...)
-		node, err := NewNode(id, ep, opts...)
-		if err != nil {
-			c.Close()
-			return nil, fmt.Errorf("lpbcast: node %d: %w", i, err)
-		}
-		c.nodes = append(c.nodes, node)
+		eps[i] = ep
 	}
-	// Uniform random seed views.
-	for i, node := range c.nodes {
-		l := cfg.SeedViewSize
-		if l <= 0 {
-			l = node.engine.Config().Membership.MaxView
-		}
-		var seeds []ProcessID
-		for _, j := range seedRNG.Sample(cfg.N-1, l) {
-			if j >= i {
-				j++
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.N {
+		workers = cfg.N
+	}
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < cfg.N; i += workers {
+				node, err := c.buildNode(cfg, eps[i], i)
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+				c.nodes[i] = node
 			}
-			seeds = append(seeds, proto.ProcessID(j+1))
-		}
-		node.engine.Seed(seeds)
+		}(w)
 	}
-	for _, node := range c.nodes {
-		node.Start()
+	wg.Wait()
+	if firstErr != nil {
+		c.Close()
+		return nil, firstErr
+	}
+	if !cfg.DeferStart {
+		c.Start()
 	}
 	return c, nil
+}
+
+// buildNode constructs and seed-views node i (id i+1). All randomness is a
+// pure function of (cfg.Seed, i), keeping construction order-free.
+func (c *Cluster) buildNode(cfg ClusterConfig, ep *transport.Endpoint, i int) (*Node, error) {
+	id := ProcessID(i + 1)
+	opts := append([]Option{
+		WithGossipInterval(cfg.GossipInterval),
+		WithRNGSeed(cfg.Seed + uint64(i+1)*0x9e3779b97f4a7c15),
+	}, cfg.NodeOptions...)
+	node, err := NewNode(id, ep, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("lpbcast: node %d: %w", i+1, err)
+	}
+	// Uniform random seed view from the node's own (Seed, id)-derived
+	// stream.
+	l := cfg.SeedViewSize
+	if l <= 0 {
+		l = node.maxView
+	}
+	seedRNG := rng.New((cfg.Seed ^ 0x5eed) + uint64(i+1)*0x9e3779b97f4a7c15)
+	seeds := make([]ProcessID, 0, l)
+	for _, j := range seedRNG.Sample(cfg.N-1, l) {
+		if j >= i {
+			j++
+		}
+		seeds = append(seeds, proto.ProcessID(j+1))
+	}
+	node.engine.Seed(seeds)
+	return node, nil
+}
+
+// Start launches every node's gossip loop. It is idempotent; NewCluster
+// calls it unless DeferStart was set.
+func (c *Cluster) Start() {
+	for _, n := range c.nodes {
+		if n != nil {
+			n.Start()
+		}
+	}
 }
 
 // Nodes returns the cluster's nodes (index i has id i+1).
@@ -128,7 +197,9 @@ func (c *Cluster) AwaitDelivery(id ProcessID, want EventID, timeout time.Duratio
 // Close stops every node and the network.
 func (c *Cluster) Close() error {
 	for _, n := range c.nodes {
-		_ = n.Close()
+		if n != nil {
+			_ = n.Close()
+		}
 	}
 	return c.network.Close()
 }

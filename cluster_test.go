@@ -1,6 +1,7 @@
 package lpbcast
 
 import (
+	"reflect"
 	"testing"
 	"time"
 )
@@ -137,5 +138,71 @@ func TestClusterGraphHealthy(t *testing.T) {
 	mean, _, _, _ := g.InDegreeStats()
 	if mean < 3 {
 		t.Errorf("mean in-degree %v suspiciously low", mean)
+	}
+}
+
+// TestClusterConstructionDeterministic: the same seed must yield
+// bit-identical initial views regardless of how many workers built the
+// cluster — per-node randomness is a pure function of (Seed, id).
+func TestClusterConstructionDeterministic(t *testing.T) {
+	t.Parallel()
+	build := func(workers int) map[ProcessID][]ProcessID {
+		c, err := NewCluster(ClusterConfig{
+			N:          60,
+			Seed:       2001,
+			Workers:    workers,
+			DeferStart: true, // snapshot views before gossip mutates them
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		views := make(map[ProcessID][]ProcessID, c.N())
+		for _, n := range c.Nodes() {
+			views[n.ID()] = n.View()
+		}
+		return views
+	}
+	want := build(1)
+	for _, workers := range []int{2, 7, 32} {
+		got := build(workers)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("initial views differ between 1 and %d construction workers", workers)
+		}
+	}
+	for id, v := range want {
+		if len(v) == 0 {
+			t.Fatalf("node %v has an empty seed view", id)
+		}
+	}
+}
+
+// TestClusterDeferStart: an unstarted cluster exchanges no gossip until
+// Start is called.
+func TestClusterDeferStart(t *testing.T) {
+	t.Parallel()
+	c, err := NewCluster(ClusterConfig{
+		N:              8,
+		GossipInterval: 2 * time.Millisecond,
+		Seed:           7,
+		DeferStart:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	time.Sleep(10 * time.Millisecond)
+	if sent, _ := c.Network().Stats(); sent != 0 {
+		t.Fatalf("deferred cluster sent %d messages before Start", sent)
+	}
+	c.Start()
+	ev, err := c.Node(1).Publish([]byte("deferred"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := ProcessID(2); int(id) <= c.N(); id++ {
+		if !c.AwaitDelivery(id, ev.ID, 5*time.Second) {
+			t.Fatalf("node %v never delivered %v after Start", id, ev.ID)
+		}
 	}
 }

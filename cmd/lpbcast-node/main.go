@@ -43,12 +43,16 @@ func run(args []string) error {
 		fanout   = fs.Int("fanout", 3, "gossip fanout F")
 		viewSize = fs.Int("view", 15, "maximum view size l")
 		stats    = fs.Duration("stats", 5*time.Second, "stats print period (0 disables)")
+		protocol = fs.String("protocol", "lpbcast", "gossip protocol: lpbcast or pbcast (the §6.2 baseline)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *idFlag == 0 {
 		return fmt.Errorf("-id must be non-zero")
+	}
+	if *protocol != "lpbcast" && *protocol != "pbcast" {
+		return fmt.Errorf("-protocol must be lpbcast or pbcast, got %q", *protocol)
 	}
 	id := lpbcast.ProcessID(*idFlag)
 
@@ -63,6 +67,14 @@ func run(args []string) error {
 		lpbcast.WithGossipInterval(*interval),
 		lpbcast.WithFanout(*fanout),
 		lpbcast.WithViewSize(*viewSize),
+	}
+	if *protocol == "pbcast" {
+		// Same node, transport, and batching — the baseline protocol runs
+		// behind the identical live API for head-to-head comparisons.
+		opts = append(opts, lpbcast.WithEngine(lpbcast.PbcastEngine(lpbcast.PbcastConfig{
+			Fanout:   *fanout,
+			ViewSize: *viewSize,
+		})))
 	}
 	var contact lpbcast.ProcessID
 	if *join != "" {
@@ -155,7 +167,11 @@ func run(args []string) error {
 // leave gossips the unsubscription for a grace period before exiting.
 func leave(node *lpbcast.Node, interval time.Duration) error {
 	if err := node.Leave(); err != nil {
-		return err
+		// Engines without graceful departure (the pbcast baseline) exit
+		// silently — their peers treat it as a crash, which is the
+		// protocol's normal departure mode.
+		fmt.Println("leaving without unsubscription:", err)
+		return nil
 	}
 	time.Sleep(5 * interval)
 	return nil

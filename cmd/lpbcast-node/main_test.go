@@ -30,4 +30,7 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-id", "1", "-bind", "127.0.0.1:0", "-join", "garbage"}); err == nil {
 		t.Fatal("bad join spec accepted")
 	}
+	if err := run([]string{"-id", "1", "-protocol", "rumor-mill"}); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
 }

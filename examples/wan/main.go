@@ -52,7 +52,9 @@ func run() error {
 	var mu sync.Mutex
 	got := map[proto.ProcessID]map[lpbcast.EventID]bool{}
 
-	var cluster []*lpbcast.Node
+	// Runtime v2: after wiring, the experiment only needs the
+	// protocol-agnostic Broadcaster API — publish, crash (Close), stats.
+	var cluster []lpbcast.Broadcaster
 	for i := 1; i <= nodes; i++ {
 		id := lpbcast.ProcessID(i)
 		ep, err := network.Attach(id)
@@ -127,8 +129,8 @@ func run() error {
 		rel, len(ids), alive, perEventMin, alive)
 
 	var retx uint64
-	for _, n := range cluster[:alive] {
-		retx += n.Stats().RetransmitRequests
+	for _, b := range cluster[:alive] {
+		retx += b.Stats().RetransmitRequests
 	}
 	fmt.Printf("retransmission requests issued: %d (digest-driven pull recovered lost payloads)\n", retx)
 	if rel < 0.9 {

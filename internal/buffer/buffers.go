@@ -51,6 +51,11 @@ func (l *UnsubList) Len() int { return l.inner.Len() }
 // Items returns a copy of the unsubscriptions in insertion order.
 func (l *UnsubList) Items() []proto.Unsubscription { return l.inner.Items() }
 
+// AppendItems appends the unsubscriptions in insertion order to dst.
+func (l *UnsubList) AppendItems(dst []proto.Unsubscription) []proto.Unsubscription {
+	return l.inner.AppendItems(dst)
+}
+
 // TruncateRandom removes random entries until Len() <= max.
 func (l *UnsubList) TruncateRandom(max int, r *rng.Source) []proto.Unsubscription {
 	return l.inner.TruncateRandom(max, r)
@@ -61,8 +66,14 @@ func (l *UnsubList) TruncateRandom(max int, r *rng.Source) []proto.Unsubscriptio
 // It returns the number of entries dropped.
 func (l *UnsubList) Expire(now, ttl uint64) int {
 	dropped := 0
-	for _, u := range l.inner.Items() {
-		if now >= ttl && u.Stamp < now-ttl {
+	if now < ttl {
+		return 0
+	}
+	// Backwards so removals cannot skip entries; no snapshot allocation on
+	// the per-tick emission path.
+	for i := l.inner.Len() - 1; i >= 0; i-- {
+		u := l.inner.At(i)
+		if u.Stamp < now-ttl {
 			l.inner.Remove(u.Process)
 			dropped++
 		}
@@ -95,6 +106,11 @@ func (b *EventBuffer) Len() int { return b.inner.Len() }
 
 // Items returns a copy of the buffered events in insertion order.
 func (b *EventBuffer) Items() []proto.Event { return b.inner.Items() }
+
+// AppendItems appends the buffered events in insertion order to dst.
+func (b *EventBuffer) AppendItems(dst []proto.Event) []proto.Event {
+	return b.inner.AppendItems(dst)
+}
 
 // TruncateRandom removes random events until Len() <= max.
 func (b *EventBuffer) TruncateRandom(max int, r *rng.Source) []proto.Event {
@@ -132,6 +148,11 @@ func (b *IDBuffer) Len() int { return b.inner.Len() }
 
 // IDs returns a copy of the identifiers, oldest first.
 func (b *IDBuffer) IDs() []proto.EventID { return b.inner.Items() }
+
+// AppendIDs appends the identifiers, oldest first, to dst.
+func (b *IDBuffer) AppendIDs(dst []proto.EventID) []proto.EventID {
+	return b.inner.AppendItems(dst)
+}
 
 // TruncateOldest evicts oldest identifiers until Len() <= max ("remove
 // oldest element from eventIds"). It returns the evicted identifiers.

@@ -90,6 +90,12 @@ func (l *KeyedList[K, V]) Items() []V {
 	return append([]V(nil), l.items...)
 }
 
+// AppendItems appends the elements in insertion order to dst,
+// allocation-free when dst has capacity.
+func (l *KeyedList[K, V]) AppendItems(dst []V) []V {
+	return append(dst, l.items...)
+}
+
 // At returns the i-th element in insertion order.
 func (l *KeyedList[K, V]) At(i int) V { return l.items[i] }
 

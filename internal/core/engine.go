@@ -185,6 +185,12 @@ type Engine struct {
 	ticks        uint64
 	eventWeights map[proto.EventID]int // duplicate counts (weighted eviction)
 	stats        Stats
+
+	// Emission-reuse mode (SetEmissionReuse): the per-round gossip and the
+	// target list are recycled across ticks instead of freshly allocated.
+	reuseEmission  bool
+	scratchGossip  *proto.Gossip
+	scratchTargets []proto.ProcessID
 }
 
 // New creates an engine for process self. deliver may be nil (deliveries
@@ -229,6 +235,21 @@ func (e *Engine) Stats() Stats { return e.stats }
 
 // View returns the current membership view (copy).
 func (e *Engine) View() []proto.ProcessID { return e.mem.View() }
+
+// ViewLen returns the current view size without copying.
+func (e *Engine) ViewLen() int { return e.mem.ViewLen() }
+
+// ViewCap returns the view bound l.
+func (e *Engine) ViewCap() int { return e.cfg.Membership.MaxView }
+
+// SetEmissionReuse switches TickAppend to recycle one gossip message and
+// its backing slices across rounds, making the steady-state emission path
+// allocation-free. It is only safe when the driver serializes or fully
+// consumes every emitted message before the next TickAppend call — the UDP
+// transport encodes datagrams inside SendBatch, so the live node enables
+// this; the in-process network shares gossip pointers with receiver queues
+// of unbounded drain latency, so it must not.
+func (e *Engine) SetEmissionReuse(on bool) { e.reuseEmission = on }
 
 // Membership exposes the membership manager for diagnostics and tests.
 func (e *Engine) Membership() *membership.Manager { return e.mem }
@@ -551,21 +572,41 @@ func (e *Engine) Tick(now uint64) []proto.Message {
 // events before retaining them and only read membership piggyback.
 func (e *Engine) TickAppend(now uint64, out []proto.Message) []proto.Message {
 	e.ticks++
-	targets := e.mem.Targets(e.cfg.Fanout)
-	if len(targets) == 0 {
-		return out
-	}
-	g := &proto.Gossip{
-		From:   e.self,
-		Events: e.events.Items(),
-		Digest: e.digestIDs(),
+	var targets []proto.ProcessID
+	var g *proto.Gossip
+	if e.reuseEmission {
+		e.scratchTargets = e.mem.AppendTargets(e.scratchTargets[:0], e.cfg.Fanout)
+		targets = e.scratchTargets
+		if len(targets) == 0 {
+			return out
+		}
+		if e.scratchGossip == nil {
+			e.scratchGossip = new(proto.Gossip)
+		}
+		g = e.scratchGossip
+		g.From = e.self
+		g.Events = e.events.AppendItems(g.Events[:0])
+		g.Digest = e.appendDigestIDs(g.Digest[:0])
+		g.Subs = g.Subs[:0]
+		g.Unsubs = g.Unsubs[:0]
+		g.DigestWatermarks = g.DigestWatermarks[:0]
+	} else {
+		targets = e.mem.Targets(e.cfg.Fanout)
+		if len(targets) == 0 {
+			return out
+		}
+		g = &proto.Gossip{
+			From:   e.self,
+			Events: e.events.Items(),
+			Digest: e.digestIDs(),
+		}
 	}
 	if k := e.cfg.MembershipEvery; k <= 1 || e.ticks%uint64(k) == 0 {
-		g.Subs = e.mem.MakeSubs()
-		g.Unsubs = e.mem.MakeUnsubs(now)
+		g.Subs = e.mem.AppendSubs(g.Subs)
+		g.Unsubs = e.mem.AppendUnsubs(g.Unsubs, now)
 	}
 	if e.cfg.DigestMode == CompactDigest {
-		g.DigestWatermarks = e.watermarks()
+		g.DigestWatermarks = e.appendWatermarks(g.DigestWatermarks)
 	}
 	for _, t := range targets {
 		out = append(out, proto.Message{
@@ -584,28 +625,30 @@ func (e *Engine) TickAppend(now uint64, out []proto.Message) []proto.Message {
 }
 
 // digestIDs returns the identifier digest to attach to an outgoing gossip.
-func (e *Engine) digestIDs() []proto.EventID {
+func (e *Engine) digestIDs() []proto.EventID { return e.appendDigestIDs(nil) }
+
+// appendDigestIDs appends the advertised digest identifiers to dst.
+func (e *Engine) appendDigestIDs(dst []proto.EventID) []proto.EventID {
 	if e.cfg.DigestMode == CompactDigest {
-		var out []proto.EventID
 		for _, entry := range e.compact.Summary() {
 			for _, seq := range entry.Sparse {
-				out = append(out, proto.EventID{Origin: entry.Origin, Seq: seq})
+				dst = append(dst, proto.EventID{Origin: entry.Origin, Seq: seq})
 			}
 		}
-		return out
+		return dst
 	}
-	return e.flat.IDs()
+	return e.flat.AppendIDs(dst)
 }
 
-// watermarks encodes the compact digest's per-origin watermarks.
-func (e *Engine) watermarks() []proto.EventID {
-	var out []proto.EventID
+// appendWatermarks appends the compact digest's per-origin watermarks to
+// dst.
+func (e *Engine) appendWatermarks(dst []proto.EventID) []proto.EventID {
 	for _, entry := range e.compact.Summary() {
 		if entry.Watermark > 0 {
-			out = append(out, proto.EventID{Origin: entry.Origin, Seq: entry.Watermark})
+			dst = append(dst, proto.EventID{Origin: entry.Origin, Seq: entry.Watermark})
 		}
 	}
-	return out
+	return dst
 }
 
 // JoinVia returns the subscription request a joining process sends to a

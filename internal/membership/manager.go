@@ -279,6 +279,29 @@ func (m *Manager) Targets(f int) []proto.ProcessID {
 	return m.view.Pick(f, m.rng)
 }
 
+// AppendTargets appends f distinct gossip targets to dst, allocation-free
+// when dst has capacity (the live node's per-round scratch path). Random
+// draws match Targets exactly.
+func (m *Manager) AppendTargets(dst []proto.ProcessID, f int) []proto.ProcessID {
+	return m.view.AppendPick(dst, f, m.rng)
+}
+
+// AppendSubs appends MakeSubs' subscriptions to dst without allocating
+// when dst has capacity.
+func (m *Manager) AppendSubs(dst []proto.ProcessID) []proto.ProcessID {
+	if !m.unsubscribed {
+		dst = append(dst, m.self)
+	}
+	return m.subs.AppendItems(dst)
+}
+
+// AppendUnsubs appends MakeUnsubs' unsubscriptions to dst without
+// allocating when dst has capacity, after expiring obsolete entries.
+func (m *Manager) AppendUnsubs(dst []proto.Unsubscription, now uint64) []proto.Unsubscription {
+	m.unsubs.Expire(now, m.cfg.UnsubTTL)
+	return m.unsubs.AppendItems(dst)
+}
+
 // RemoveFromView drops p (e.g. after repeated send failures in a live
 // deployment). It reports whether p was present.
 func (m *Manager) RemoveFromView(p proto.ProcessID) bool { return m.view.Remove(p) }

@@ -37,6 +37,8 @@ type View struct {
 	owner proto.ProcessID
 	idx   map[proto.ProcessID]int // process -> position in entries
 	list  []Entry
+
+	pickScratch []int // reused by AppendPick
 }
 
 // NewView creates an empty view owned by owner. The owner can never be
@@ -140,6 +142,20 @@ func (v *View) Pick(k int, r *rng.Source) []proto.ProcessID {
 		out[i] = v.list[j].Process
 	}
 	return out
+}
+
+// AppendPick appends Pick(k, r)'s choices to dst, reusing an internal
+// index scratch so the steady-state emission path does not allocate. It
+// consumes the same random draws as Pick.
+func (v *View) AppendPick(dst []proto.ProcessID, k int, r *rng.Source) []proto.ProcessID {
+	if k <= 0 || len(v.list) == 0 {
+		return dst
+	}
+	v.pickScratch = r.SampleAppend(v.pickScratch[:0], len(v.list), k)
+	for _, j := range v.pickScratch {
+		dst = append(dst, v.list[j].Process)
+	}
+	return dst
 }
 
 // removeAt deletes the entry at position i and returns it.

@@ -205,6 +205,23 @@ func (n *Node) View() []proto.ProcessID {
 	return append([]proto.ProcessID(nil), n.total...)
 }
 
+// ViewLen returns the current view size without copying.
+func (n *Node) ViewLen() int {
+	if n.mem != nil {
+		return n.mem.ViewLen()
+	}
+	return len(n.total)
+}
+
+// ViewCap returns the view bound: l in PartialView mode, the full
+// membership size in TotalView mode.
+func (n *Node) ViewCap() int {
+	if n.mem != nil {
+		return n.cfg.Membership.MaxView
+	}
+	return len(n.total)
+}
+
 // Publish broadcasts a new message. The returned event carries the node's
 // next sequence number. Dissemination starts with the next digest gossip;
 // the caller may additionally run a first-phase unreliable multicast by

@@ -147,7 +147,33 @@ func (s *Source) Sample(n, k int) []int {
 	if k <= 0 {
 		return nil
 	}
-	out := make([]int, k)
+	return s.SampleAppend(make([]int, 0, k), n, k)
+}
+
+// SampleAppend appends the indices Sample(n, k) would return to dst,
+// allocation-free when dst has capacity. It consumes exactly the same Intn
+// draws as Sample, so switching a caller between the two cannot perturb
+// deterministic schedules.
+func (s *Source) SampleAppend(dst []int, n, k int) []int {
+	if k >= n {
+		// Inline Fisher–Yates permutation (Perm's draw order).
+		base := len(dst)
+		for i := 0; i < n; i++ {
+			j := s.Intn(i + 1)
+			dst = append(dst, 0)
+			dst[base+i] = dst[base+j]
+			dst[base+j] = i
+		}
+		return dst
+	}
+	if k <= 0 {
+		return dst
+	}
+	base := len(dst)
+	for i := 0; i < k; i++ {
+		dst = append(dst, 0)
+	}
+	out := dst[base : base+k]
 	if k <= smallSampleK {
 		// Map-free fast path: linear scans over at most k recorded swaps.
 		var keys [smallSampleK]int
@@ -185,7 +211,7 @@ func (s *Source) Sample(n, k int) []int {
 				used++
 			}
 		}
-		return out
+		return dst
 	}
 	chosen := make(map[int]int, 2*k)
 	for i := 0; i < k; i++ {
@@ -201,7 +227,7 @@ func (s *Source) Sample(n, k int) []int {
 		out[i] = vj
 		chosen[j] = vi
 	}
-	return out
+	return dst
 }
 
 // NormFloat64 returns a normally distributed float64 with mean 0 and

@@ -112,56 +112,78 @@ func (n *Network) Close() error {
 
 // deliver routes m to its destination endpoint, applying loss and latency.
 func (n *Network) deliver(m proto.Message) error {
+	buf := [1]proto.Message{m}
+	return n.deliverBatch(buf[:])
+}
+
+// deliverBatch routes a burst of messages under a single lock acquisition:
+// loss, latency, and routing for every message are decided while the
+// fabric lock is held once, and zero-delay messages are enqueued inline
+// (buffered channel sends never block). Lock order is always n.mu then
+// ep.mu; no path acquires them in reverse.
+func (n *Network) deliverBatch(msgs []proto.Message) error {
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
 		return ErrClosed
 	}
-	n.sent++
-	dst, ok := n.eps[m.To]
-	if !ok {
-		n.dropped++
-		n.mu.Unlock()
-		return nil // unknown peers lose messages silently, like UDP
-	}
-	if n.cfg.Loss != nil && n.cfg.Loss.Drop(m.From, m.To, uint64(time.Now().UnixNano())) {
-		n.dropped++
-		n.mu.Unlock()
-		return nil
-	}
-	var delay time.Duration
-	if n.cfg.MaxDelay > 0 {
-		span := n.cfg.MaxDelay - n.cfg.MinDelay
-		delay = n.cfg.MinDelay
-		if span > 0 {
-			delay += time.Duration(n.rng.Intn(int(span)))
+	for _, m := range msgs {
+		n.sent++
+		dst, ok := n.eps[m.To]
+		if !ok {
+			n.dropped++
+			continue // unknown peers lose messages silently, like UDP
 		}
+		if n.cfg.Loss != nil && n.cfg.Loss.Drop(m.From, m.To, uint64(time.Now().UnixNano())) {
+			n.dropped++
+			continue
+		}
+		var delay time.Duration
+		if n.cfg.MaxDelay > 0 {
+			span := n.cfg.MaxDelay - n.cfg.MinDelay
+			delay = n.cfg.MinDelay
+			if span > 0 {
+				delay += time.Duration(n.rng.Intn(int(span)))
+			}
+		}
+		if delay <= 0 {
+			if !dst.tryEnqueue(m) {
+				n.dropped++
+			}
+			continue
+		}
+		m := m
+		n.timers.Add(1)
+		time.AfterFunc(delay, func() {
+			defer n.timers.Done()
+			dst.enqueue(m, n)
+		})
 	}
 	n.mu.Unlock()
-
-	if delay <= 0 {
-		dst.enqueue(m, n)
-		return nil
-	}
-	n.timers.Add(1)
-	timer := time.AfterFunc(delay, func() {
-		defer n.timers.Done()
-		dst.enqueue(m, n)
-	})
-	_ = timer
 	return nil
 }
 
-// enqueue places m in the endpoint's inbox, dropping on overflow or close.
-func (ep *Endpoint) enqueue(m proto.Message, n *Network) {
+// tryEnqueue places m in the endpoint's inbox, reporting whether it was
+// lost to a full buffer. Sends to a closed endpoint vanish without counting
+// as drops (the process is gone, not the network).
+func (ep *Endpoint) tryEnqueue(m proto.Message) bool {
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
 	if ep.closed {
-		return
+		return true
 	}
 	select {
 	case ep.in <- m:
+		return true
 	default: // inbox full: drop, like a saturated socket buffer
+		return false
+	}
+}
+
+// enqueue places m in the endpoint's inbox, counting overflow drops. Only
+// called without n.mu held (the delayed-delivery timers).
+func (ep *Endpoint) enqueue(m proto.Message, n *Network) {
+	if !ep.tryEnqueue(m) {
 		n.mu.Lock()
 		n.dropped++
 		n.mu.Unlock()
@@ -174,6 +196,20 @@ func (ep *Endpoint) Send(m proto.Message) error {
 		m.From = ep.id
 	}
 	return ep.net.deliver(m)
+}
+
+// SendBatch implements Transport: the whole burst crosses the fabric under
+// one lock acquisition.
+func (ep *Endpoint) SendBatch(msgs []proto.Message) error {
+	if len(msgs) == 0 {
+		return nil
+	}
+	for i := range msgs {
+		if msgs[i].From == proto.NilProcess {
+			msgs[i].From = ep.id
+		}
+	}
+	return ep.net.deliverBatch(msgs)
 }
 
 // Recv implements Transport.

@@ -27,9 +27,29 @@ type Transport interface {
 	// an unreachable or overloaded receiver loses the message silently
 	// (after all, ε > 0 is part of the model).
 	Send(m proto.Message) error
+	// SendBatch transmits a burst of messages — typically one gossip
+	// round's emissions plus any retransmission traffic — amortizing
+	// per-message overhead: the in-process network routes the whole burst
+	// under one lock acquisition, and the UDP transport packs messages
+	// sharing a destination into container datagrams. Loss semantics match
+	// Send; on error the rest of the burst is still attempted and the
+	// first error is returned. SendBatch must not retain msgs.
+	SendBatch(msgs []proto.Message) error
 	// Recv returns the channel of inbound messages. The channel is closed
-	// when the transport closes.
+	// when the transport closes. Run loops drain it in bursts: after a
+	// blocking receive, non-blocking reads empty whatever else has queued
+	// before the protocol reacts once for the whole burst.
 	Recv() <-chan proto.Message
 	// Close releases resources and closes the Recv channel.
 	Close() error
+}
+
+// Serializer marks transports whose Send/SendBatch fully serialize or
+// otherwise consume every message before returning, so callers — and
+// protocol engines in emission-reuse mode — may recycle message buffers
+// immediately after the call. The UDP transport qualifies (datagrams are
+// encoded synchronously); the in-process network does not (it shares
+// gossip pointers with receiver queues).
+type Serializer interface {
+	SerializesOnSend()
 }

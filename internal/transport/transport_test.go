@@ -353,3 +353,63 @@ func TestUDPBadAddresses(t *testing.T) {
 		t.Fatal("AddPeer accepted a bad address")
 	}
 }
+
+// TestInprocSendBatch routes a whole burst in one call: every message
+// reaches its endpoint and the fabric counts each one.
+func TestInprocSendBatch(t *testing.T) {
+	t.Parallel()
+	n := NewNetwork(NetworkConfig{})
+	defer n.Close()
+	a, _ := n.Attach(1)
+	b, _ := n.Attach(2)
+	c, _ := n.Attach(3)
+	err := a.SendBatch([]proto.Message{
+		subscribeMsg(0, 2), // NilProcess sender: filled in per message
+		subscribeMsg(1, 3),
+		subscribeMsg(1, 2),
+		subscribeMsg(1, 99), // unknown peer: silently lost
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := recvOne(t, b, time.Second); m.From != 1 {
+		t.Fatalf("batch did not fill in sender: %+v", m)
+	}
+	recvOne(t, b, time.Second)
+	recvOne(t, c, time.Second)
+	sent, dropped := n.Stats()
+	if sent != 4 || dropped != 1 {
+		t.Errorf("stats = %d sent, %d dropped; want 4, 1", sent, dropped)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SendBatch([]proto.Message{subscribeMsg(1, 2)}); err != ErrClosed {
+		t.Errorf("SendBatch after close = %v, want ErrClosed", err)
+	}
+}
+
+// TestInprocSendBatchLossAndLatency: the batched path applies the same
+// loss and latency model as single sends.
+func TestInprocSendBatchLossAndLatency(t *testing.T) {
+	t.Parallel()
+	n := NewNetwork(NetworkConfig{
+		Loss:     fault.NewBernoulli(1.0, rng.New(7)), // drop everything
+		MinDelay: time.Millisecond,
+		MaxDelay: 2 * time.Millisecond,
+	})
+	defer n.Close()
+	a, _ := n.Attach(1)
+	b, _ := n.Attach(2)
+	if err := a.SendBatch([]proto.Message{subscribeMsg(1, 2), subscribeMsg(1, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-b.Recv():
+		t.Fatalf("lossy batch delivered %+v", m)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if _, dropped := n.Stats(); dropped != 2 {
+		t.Errorf("dropped = %d, want 2", dropped)
+	}
+}

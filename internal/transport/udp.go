@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -60,6 +61,10 @@ func NewUDP(id proto.ProcessID, bindAddr string) (*UDP, error) {
 // LocalAddr returns the bound address (useful with port 0).
 func (u *UDP) LocalAddr() string { return u.conn.LocalAddr().String() }
 
+// SerializesOnSend marks UDP as a Serializer: Send and SendBatch encode
+// every message into datagrams before returning.
+func (u *UDP) SerializesOnSend() {}
+
 // AddPeer registers the address of process p.
 func (u *UDP) AddPeer(p proto.ProcessID, addr string) error {
 	ua, err := net.ResolveUDPAddr("udp", addr)
@@ -80,6 +85,7 @@ func (u *UDP) AddPeer(p proto.ProcessID, addr string) error {
 func (u *UDP) readLoop() {
 	defer u.readers.Done()
 	buf := make([]byte, maxDatagram)
+	var scratch []proto.Message
 	for {
 		n, from, err := u.conn.ReadFromUDP(buf)
 		if err != nil {
@@ -92,13 +98,14 @@ func (u *UDP) readLoop() {
 			}
 			continue // transient read error: keep serving
 		}
-		m, err := wire.Decode(buf[:n])
+		msgs, err := wire.DecodeBatch(buf[:n], scratch[:0])
 		if err != nil {
 			u.mu.Lock()
 			u.decodeErrs++
 			u.mu.Unlock()
 			continue
 		}
+		scratch = msgs
 		u.mu.Lock()
 		if u.closed {
 			u.mu.Unlock()
@@ -106,14 +113,18 @@ func (u *UDP) readLoop() {
 			return
 		}
 		// Learn or refresh the sender's address.
-		if m.From != proto.NilProcess {
-			u.peers[m.From] = from
+		for _, m := range msgs {
+			if m.From != proto.NilProcess {
+				u.peers[m.From] = from
+			}
 		}
 		u.received++
 		u.mu.Unlock()
-		select {
-		case u.in <- m:
-		default: // inbox full: drop like a socket buffer overflow
+		for _, m := range msgs {
+			select {
+			case u.in <- m:
+			default: // inbox full: drop like a socket buffer overflow
+			}
 		}
 	}
 }
@@ -144,6 +155,118 @@ func (u *UDP) Send(m proto.Message) error {
 	u.sent++
 	u.mu.Unlock()
 	return nil
+}
+
+// SendBatch implements Transport: messages sharing a destination are
+// packed into container datagrams (up to the datagram size budget), so a
+// burst costs one syscall per destination rather than one per message.
+// Unknown peers and write failures lose their messages; the first error is
+// returned after the rest of the burst has been attempted.
+func (u *UDP) SendBatch(msgs []proto.Message) error {
+	if len(msgs) == 0 {
+		return nil
+	}
+	if len(msgs) == 1 {
+		return u.Send(msgs[0])
+	}
+	// Resolve every destination under one lock acquisition; encoding —
+	// the expensive part — happens after the unlock so the receive path
+	// (which needs u.mu per datagram) is never stalled behind it.
+	addrs := make([]*net.UDPAddr, len(msgs))
+	u.mu.Lock()
+	if u.closed {
+		u.mu.Unlock()
+		return ErrClosed
+	}
+	for i := range msgs {
+		if msgs[i].From == proto.NilProcess {
+			msgs[i].From = u.id
+		}
+		addrs[i] = u.peers[msgs[i].To] // nil for unknown peers
+	}
+	u.mu.Unlock()
+
+	type group struct {
+		to     proto.ProcessID
+		addr   *net.UDPAddr
+		frames [][]byte
+	}
+	groups := make([]*group, 0, 8)
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	for i, m := range msgs {
+		if addrs[i] == nil {
+			fail(fmt.Errorf("%w: %v", ErrUnknownPeer, m.To))
+			continue
+		}
+		frame, err := wire.Encode(m)
+		if err != nil {
+			fail(fmt.Errorf("transport: encode: %w", err))
+			continue
+		}
+		var g *group
+		for _, cand := range groups {
+			if cand.to == m.To {
+				g = cand
+				break
+			}
+		}
+		if g == nil {
+			g = &group{to: m.To, addr: addrs[i]}
+			groups = append(groups, g)
+		}
+		g.frames = append(g.frames, frame)
+	}
+
+	// One datagram per destination; oversized or overlong bursts flush in
+	// container-sized chunks.
+	const budget = maxDatagram - 16 // container header headroom
+	for _, g := range groups {
+		start, size := 0, 0
+		flush := func(end int) {
+			if end == start {
+				return
+			}
+			u.writeFrames(g.addr, g.to, g.frames[start:end], fail)
+			start, size = end, 0
+		}
+		for i, f := range g.frames {
+			cost := len(f) + binary.MaxVarintLen32
+			if i > start && (size+cost > budget || i-start >= wire.MaxBatchLen) {
+				flush(i)
+			}
+			size += cost
+		}
+		flush(len(g.frames))
+	}
+	return firstErr
+}
+
+// writeFrames emits one datagram carrying frames: a raw version-1 frame
+// when alone, a container otherwise.
+func (u *UDP) writeFrames(addr *net.UDPAddr, to proto.ProcessID, frames [][]byte, fail func(error)) {
+	var datagram []byte
+	if len(frames) == 1 {
+		datagram = frames[0]
+	} else {
+		packed, err := wire.PackFrames(frames)
+		if err != nil {
+			fail(fmt.Errorf("transport: pack: %w", err))
+			return
+		}
+		datagram = packed
+	}
+	if _, err := u.conn.WriteToUDP(datagram, addr); err != nil {
+		fail(fmt.Errorf("transport: send to %v: %w", to, err))
+		return
+	}
+	u.mu.Lock()
+	u.sent++
+	u.mu.Unlock()
 }
 
 // Recv implements Transport.

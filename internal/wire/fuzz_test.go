@@ -27,26 +27,47 @@ func FuzzDecode(f *testing.F) {
 		}
 		f.Add(buf)
 	}
+	batch, err := EncodeBatch(seeds)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(batch)
 	f.Add([]byte{})
 	f.Add([]byte{'L', 1, 1})
+	f.Add([]byte{'L', 2, 1})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		m, err := Decode(data)
+		if m, err := Decode(data); err == nil {
+			// Canonical round-trip: re-encoding a decoded message and
+			// decoding again must be a fixed point.
+			buf2, err := Encode(m)
+			if err != nil {
+				t.Fatalf("decoded message does not re-encode: %+v: %v", m, err)
+			}
+			m2, err := Decode(buf2)
+			if err != nil {
+				t.Fatalf("re-encoded message does not decode: %v", err)
+			}
+			if !reflect.DeepEqual(m, m2) {
+				t.Fatalf("round-trip not a fixed point:\n1st %+v\n2nd %+v", m, m2)
+			}
+		}
+		// The container decoder must hold the same invariants: no panics,
+		// and anything accepted re-encodes to the same batch.
+		msgs, err := DecodeBatch(data, nil)
 		if err != nil {
 			return // rejected input is fine; panics are not
 		}
-		// Canonical round-trip: re-encoding a decoded message and decoding
-		// again must be a fixed point.
-		buf2, err := Encode(m)
+		buf2, err := EncodeBatch(msgs)
 		if err != nil {
-			t.Fatalf("decoded message does not re-encode: %+v: %v", m, err)
+			t.Fatalf("decoded batch does not re-encode: %+v: %v", msgs, err)
 		}
-		m2, err := Decode(buf2)
+		msgs2, err := DecodeBatch(buf2, nil)
 		if err != nil {
-			t.Fatalf("re-encoded message does not decode: %v", err)
+			t.Fatalf("re-encoded batch does not decode: %v", err)
 		}
-		if !reflect.DeepEqual(m, m2) {
-			t.Fatalf("round-trip not a fixed point:\n1st %+v\n2nd %+v", m, m2)
+		if !reflect.DeepEqual(msgs, msgs2) {
+			t.Fatalf("batch round-trip not a fixed point:\n1st %+v\n2nd %+v", msgs, msgs2)
 		}
 	})
 }

@@ -1,8 +1,18 @@
 // Package wire encodes protocol messages into a compact, versioned binary
 // format suitable for UDP datagrams, using only the standard library
-// (encoding/binary varints). The format is:
+// (encoding/binary varints). The single-message format is:
 //
 //	magic byte 'L' | version 1 | kind | from | to | kind-specific body
+//
+// The batch container format (version 2) packs several single-message
+// frames into one datagram, so a burst of messages to the same destination
+// costs one syscall:
+//
+//	magic byte 'L' | version 2 | count | (frame length | frame bytes)*
+//
+// where every inner frame is a complete version-1 message. Single messages
+// keep the version-1 frame on the wire, so batch-capable senders remain
+// readable by version-1-only receivers until a burst actually forms.
 //
 // All integers are unsigned varints. Decoding is defensive: every count is
 // bounded before allocation so a corrupt or hostile datagram cannot force
@@ -18,8 +28,9 @@ import (
 )
 
 const (
-	magic   byte = 'L'
-	version byte = 1
+	magic        byte = 'L'
+	version      byte = 1
+	versionBatch byte = 2
 )
 
 // Decode limits: a datagram announcing more than these counts is rejected
@@ -27,6 +38,9 @@ const (
 const (
 	maxListLen    = 1 << 16
 	maxPayloadLen = 1 << 20
+	// MaxBatchLen bounds the number of messages one container frame may
+	// carry.
+	MaxBatchLen = 1 << 12
 )
 
 // ErrTruncated is returned when a message ends before its announced
@@ -346,4 +360,95 @@ func Decode(buf []byte) (proto.Message, error) {
 		return m, fmt.Errorf("wire: %d trailing bytes", len(buf)-d.off)
 	}
 	return m, nil
+}
+
+// PackFrames builds a version-2 container datagram from pre-encoded
+// single-message frames. Callers that budget datagram sizes (the UDP
+// transport) encode messages individually and pack greedily.
+func PackFrames(frames [][]byte) ([]byte, error) {
+	if len(frames) == 0 {
+		return nil, errors.New("wire: empty batch")
+	}
+	if len(frames) > MaxBatchLen {
+		return nil, fmt.Errorf("wire: batch of %d frames exceeds limit %d", len(frames), MaxBatchLen)
+	}
+	size := 2
+	for _, f := range frames {
+		size += binary.MaxVarintLen32 + len(f)
+	}
+	e := &encoder{buf: make([]byte, 0, size)}
+	e.byte(magic)
+	e.byte(versionBatch)
+	e.uvarint(uint64(len(frames)))
+	for _, f := range frames {
+		e.bytes(f)
+	}
+	return e.buf, nil
+}
+
+// EncodeBatch serializes a burst of messages bound for one destination. A
+// single message keeps the plain version-1 frame (so pre-batch receivers
+// stay compatible); two or more are packed into a container frame.
+func EncodeBatch(msgs []proto.Message) ([]byte, error) {
+	switch len(msgs) {
+	case 0:
+		return nil, errors.New("wire: empty batch")
+	case 1:
+		return Encode(msgs[0])
+	}
+	frames := make([][]byte, len(msgs))
+	for i, m := range msgs {
+		f, err := Encode(m)
+		if err != nil {
+			return nil, err
+		}
+		frames[i] = f
+	}
+	return PackFrames(frames)
+}
+
+// DecodeBatch parses a datagram holding either a single version-1 frame or
+// a version-2 container, appending the contained messages to out. On error
+// the returned slice holds the messages decoded before the failure.
+func DecodeBatch(buf []byte, out []proto.Message) ([]proto.Message, error) {
+	if len(buf) < 2 {
+		return out, ErrTruncated
+	}
+	if buf[0] != magic {
+		return out, ErrBadMagic
+	}
+	if buf[1] != versionBatch {
+		m, err := Decode(buf)
+		if err != nil {
+			return out, err
+		}
+		return append(out, m), nil
+	}
+	d := &decoder{buf: buf, off: 2}
+	n, err := d.count(MaxBatchLen)
+	if err != nil {
+		return out, err
+	}
+	if n == 0 {
+		return out, errors.New("wire: empty container frame")
+	}
+	for i := 0; i < n; i++ {
+		flen, err := d.count(maxPayloadLen)
+		if err != nil {
+			return out, err
+		}
+		if d.off+flen > len(d.buf) {
+			return out, ErrTruncated
+		}
+		m, err := Decode(d.buf[d.off : d.off+flen])
+		if err != nil {
+			return out, err
+		}
+		d.off += flen
+		out = append(out, m)
+	}
+	if d.off != len(buf) {
+		return out, fmt.Errorf("wire: %d trailing bytes after container", len(buf)-d.off)
+	}
+	return out, nil
 }

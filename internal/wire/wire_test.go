@@ -274,6 +274,124 @@ func TestEncodedSizeIsCompact(t *testing.T) {
 	}
 }
 
+func sampleBatch() []proto.Message {
+	return []proto.Message{
+		sampleGossip(),
+		{Kind: proto.SubscribeMsg, From: 3, To: 9, Subscriber: 3},
+		{Kind: proto.RetransmitRequestMsg, From: 5, To: 9,
+			Request: []proto.EventID{{Origin: 1, Seq: 4}}},
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	t.Parallel()
+	msgs := sampleBatch()
+	buf, err := EncodeBatch(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBatch(buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(msgs, got) {
+		t.Fatalf("batch round trip mismatch:\nsent %+v\ngot  %+v", msgs, got)
+	}
+}
+
+func TestBatchOfOneStaysVersionOne(t *testing.T) {
+	t.Parallel()
+	// The compat contract: a single-message batch emits a plain v1 frame
+	// readable by pre-batch receivers...
+	m := sampleGossip()
+	buf, err := EncodeBatch([]proto.Message{m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := Decode(buf)
+	if err != nil {
+		t.Fatalf("single-message batch is not a v1 frame: %v", err)
+	}
+	if !reflect.DeepEqual(m, single) {
+		t.Fatalf("mismatch: %+v vs %+v", m, single)
+	}
+	// ...and DecodeBatch accepts v1 frames, so batch-capable receivers read
+	// pre-batch senders.
+	got, err := DecodeBatch(buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !reflect.DeepEqual(m, got[0]) {
+		t.Fatalf("DecodeBatch(v1 frame) = %+v", got)
+	}
+}
+
+func TestDecodeRejectsContainerFrame(t *testing.T) {
+	t.Parallel()
+	// A v1-only Decode must cleanly reject a container rather than
+	// misparse it.
+	buf, err := EncodeBatch(sampleBatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(buf); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("Decode(container) = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestBatchRejectsGarbage(t *testing.T) {
+	t.Parallel()
+	if _, err := EncodeBatch(nil); err == nil {
+		t.Error("encoded empty batch")
+	}
+	if _, err := PackFrames(nil); err == nil {
+		t.Error("packed empty frame list")
+	}
+	if _, err := PackFrames(make([][]byte, MaxBatchLen+1)); err == nil {
+		t.Error("packed oversized frame list")
+	}
+	if _, err := DecodeBatch(nil, nil); err == nil {
+		t.Error("decoded empty buffer")
+	}
+	if _, err := DecodeBatch([]byte{'X', versionBatch}, nil); err == nil {
+		t.Error("decoded bad magic")
+	}
+	// Container announcing one frame but holding none.
+	if _, err := DecodeBatch([]byte{'L', versionBatch, 1}, nil); err == nil {
+		t.Error("decoded truncated container")
+	}
+	// Empty container.
+	if _, err := DecodeBatch([]byte{'L', versionBatch, 0}, nil); err == nil {
+		t.Error("decoded empty container")
+	}
+}
+
+func TestBatchTruncationsNeverPanic(t *testing.T) {
+	t.Parallel()
+	buf, err := EncodeBatch(sampleBatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(buf); i++ {
+		if _, err := DecodeBatch(buf[:i], nil); err == nil {
+			t.Fatalf("container prefix of length %d decoded successfully", i)
+		}
+	}
+	if _, err := DecodeBatch(append(buf, 0xFF), nil); err == nil {
+		t.Fatal("trailing byte after container accepted")
+	}
+}
+
+func BenchmarkEncodeBatch(b *testing.B) {
+	msgs := sampleBatch()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeBatch(msgs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkEncodeGossip(b *testing.B) {
 	m := sampleGossip()
 	b.ReportAllocs()

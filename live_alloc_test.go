@@ -1,0 +1,181 @@
+package lpbcast
+
+import (
+	"testing"
+)
+
+// consumingTransport is a Serializer transport stub: it fully consumes
+// messages before returning (like the UDP transport, which encodes
+// datagrams synchronously) and counts what it saw. It lets the alloc gate
+// measure the node's own round path — engine tick, burst handling, batch
+// send — without socket noise.
+type consumingTransport struct {
+	recv     chan Message
+	messages int
+	batches  int
+}
+
+func newConsumingTransport() *consumingTransport {
+	return &consumingTransport{recv: make(chan Message, 64)}
+}
+
+func (t *consumingTransport) Send(m Message) error { t.messages++; return nil }
+
+func (t *consumingTransport) SendBatch(msgs []Message) error {
+	t.messages += len(msgs)
+	t.batches++
+	return nil
+}
+
+func (t *consumingTransport) Recv() <-chan Message { return t.recv }
+func (t *consumingTransport) Close() error         { return nil }
+func (t *consumingTransport) SerializesOnSend()    {}
+
+// steadyNode builds an unstarted node with a warmed view of 15 peers over
+// a consuming transport, then runs a few rounds so every scratch buffer
+// reaches steady-state capacity.
+func steadyNode(t testing.TB) (*Node, *consumingTransport) {
+	t.Helper()
+	tr := newConsumingTransport()
+	seeds := make([]ProcessID, 0, 15)
+	for p := ProcessID(2); p <= 16; p++ {
+		seeds = append(seeds, p)
+	}
+	n, err := NewNode(1, tr, WithSeeds(seeds...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		n.gossipRound()
+	}
+	return n, tr
+}
+
+// steadyBurst is a converged-system inbound burst: gossips whose events
+// and digest entries the receiver already knows.
+func steadyBurst(t testing.TB, n *Node) []Message {
+	t.Helper()
+	ev, err := n.Publish([]byte("steady"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.gossipRound() // clears the events buffer
+	g := &Gossip{
+		From:   2,
+		Subs:   []ProcessID{2},
+		Events: []Event{{ID: ev.ID, Payload: []byte("steady")}},
+		Digest: []EventID{ev.ID},
+	}
+	burst := make([]Message, 0, 3)
+	for i := 0; i < 3; i++ {
+		burst = append(burst, Message{Kind: GossipMsgKind, From: 2, To: 1, Gossip: g})
+	}
+	return burst
+}
+
+// TestLiveNodeRoundAllocs is the acceptance gate for the v2 runtime: a
+// steady-state gossip round — periodic emission plus an inbound burst of
+// already-known gossip — must cost at most 2 allocations.
+func TestLiveNodeRoundAllocs(t *testing.T) {
+	n, tr := steadyNode(t)
+	burst := steadyBurst(t, n)
+	n.handleBurst(burst) // warm the inbound path too
+
+	allocs := testing.AllocsPerRun(200, func() {
+		n.gossipRound()
+		n.handleBurst(burst)
+	})
+	if allocs > 2 {
+		t.Errorf("steady-state live round allocates %v times, want <= 2", allocs)
+	}
+	if tr.messages == 0 || tr.batches == 0 {
+		t.Fatalf("transport saw %d messages in %d batches; the round path is not live", tr.messages, tr.batches)
+	}
+}
+
+// TestLiveNodeRoundEmitsBatches pins the emission shape: one gossip round
+// of fanout F leaves as one SendBatch carrying F messages.
+func TestLiveNodeRoundEmitsBatches(t *testing.T) {
+	n, tr := steadyNode(t)
+	before := tr.batches
+	msgsBefore := tr.messages
+	n.gossipRound()
+	if got := tr.batches - before; got != 1 {
+		t.Errorf("round used %d SendBatch calls, want 1", got)
+	}
+	if got := tr.messages - msgsBefore; got != 3 {
+		t.Errorf("round emitted %d messages, want fanout 3", got)
+	}
+}
+
+// BenchmarkLiveNodeRound measures the v2 node's steady-state gossip round
+// (tick emission + inbound burst of known gossip). The interesting number
+// is allocs/op: ~0 in emission-reuse mode.
+func BenchmarkLiveNodeRound(b *testing.B) {
+	n, _ := steadyNode(b)
+	burst := steadyBurst(b, n)
+	n.handleBurst(burst)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.gossipRound()
+		n.handleBurst(burst)
+	}
+}
+
+// BenchmarkLiveNodeRoundLegacy is the pre-v2 shape for comparison: the
+// cloning Tick API and one Send per message, as the run loop worked before
+// the batched redesign.
+func BenchmarkLiveNodeRoundLegacy(b *testing.B) {
+	n, tr := steadyNode(b)
+	burst := steadyBurst(b, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.mu.Lock()
+		var out []Message
+		out = n.engine.TickAppend(n.now(), nil)
+		n.mu.Unlock()
+		for _, m := range out {
+			_ = tr.Send(m)
+		}
+		for _, m := range burst {
+			n.mu.Lock()
+			resp := n.engine.HandleMessageAppend(m, n.now(), nil)
+			n.mu.Unlock()
+			for _, r := range resp {
+				_ = tr.Send(r)
+			}
+		}
+	}
+}
+
+// TestDroppedDeliveriesCountsEvictions: when the application stops
+// draining Deliveries, every overwritten delivery counts as dropped — the
+// eviction of the oldest buffered event is itself a loss.
+func TestDroppedDeliveriesCountsEvictions(t *testing.T) {
+	tr := newConsumingTransport()
+	n, err := NewNode(1, tr, WithDeliveryQueue(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const published = 10
+	for i := 0; i < published; i++ {
+		if _, err := n.Publish([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 4 slots survive; the other deliveries were evicted to admit newer
+	// ones and must all be counted.
+	if got, want := n.DroppedDeliveries(), uint64(published-4); got != want {
+		t.Errorf("DroppedDeliveries = %d, want %d", got, want)
+	}
+	if got := len(n.Deliveries()); got != 4 {
+		t.Errorf("queue holds %d deliveries, want 4", got)
+	}
+	// The freshest events won: the head of the queue advanced.
+	ev := <-n.Deliveries()
+	if ev.Payload[0] != byte(published-4) {
+		t.Errorf("oldest surviving delivery = %d, want %d", ev.Payload[0], published-4)
+	}
+}

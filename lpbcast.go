@@ -53,6 +53,8 @@ type (
 	Event = proto.Event
 	// Message is the wire-level envelope exchanged between processes.
 	Message = proto.Message
+	// Gossip is the protocol message body carried by gossip messages.
+	Gossip = proto.Gossip
 	// Stats are the engine's cumulative activity counters.
 	Stats = core.Stats
 )
@@ -96,6 +98,7 @@ func NewTraceCounters() *TraceCounters { return trace.NewCounters() }
 // config collects the node options.
 type config struct {
 	engine        core.Config
+	engineFactory EngineFactory
 	interval      time.Duration
 	seeds         []ProcessID
 	handler       func(Event)
@@ -239,16 +242,84 @@ func WithArchiveSize(n int) Option {
 	return func(c *config) { c.engine.ArchiveSize = n }
 }
 
+// Engine is the protocol state machine a Node drives: the lpbcast core
+// engine by default, or any compatible gossip protocol (see PbcastEngine)
+// installed via WithEngine. Implementations follow the sans-IO append
+// contract of internal/core: TickAppend and HandleMessageAppend append
+// their emissions to the caller's scratch slice, and all gossip messages
+// of one round may share a read-only *Gossip.
+type Engine interface {
+	// Publish broadcasts a new notification and delivers it locally.
+	Publish(payload []byte) Event
+	// TickAppend performs one periodic gossip emission, appending the
+	// outgoing messages to out.
+	TickAppend(now uint64, out []Message) []Message
+	// HandleMessageAppend processes one inbound message, appending any
+	// responses to out.
+	HandleMessageAppend(m Message, now uint64, out []Message) []Message
+	// View returns the current membership view (copy).
+	View() []ProcessID
+	// ViewLen returns the view size without copying.
+	ViewLen() int
+	// ViewCap returns the view bound l — how many members the view can
+	// hold. Cluster seeding fills up to this many peers by default.
+	ViewCap() int
+	// Seed bootstraps the view with known members.
+	Seed(ps []ProcessID)
+	// Stats returns cumulative activity counters.
+	Stats() Stats
+	// Knows reports whether id has been delivered.
+	Knows(id EventID) bool
+	// JoinVia returns the subscription request to send to a known member.
+	JoinVia(contact ProcessID) (Message, error)
+	// Unsubscribe starts a graceful departure.
+	Unsubscribe(now uint64) error
+}
+
+// EngineFactory builds the protocol engine for a node. deliver is the
+// node's delivery sink (it must be called for every LPB-DELIVER); rngSeed
+// is the node's configured randomness seed (WithRNGSeed).
+type EngineFactory func(id ProcessID, deliver func(Event), rngSeed uint64) (Engine, error)
+
+// WithEngine installs a custom protocol engine, making the live runtime
+// protocol-agnostic: the node keeps its transport, batching, timer, and
+// delivery plumbing, while the installed engine defines the gossip
+// protocol. Engine-shaping options (WithFanout, WithViewSize, ...) do not
+// reach a custom engine; configure it in the factory. See PbcastEngine for
+// the bundled pbcast baseline, enabling the paper's §6 head-to-head
+// comparisons on one testbed.
+func WithEngine(f EngineFactory) Option {
+	return func(c *config) { c.engineFactory = f }
+}
+
+// emissionReuser is the optional engine fast path: when the transport
+// serializes messages on send, the node lets the engine recycle its
+// per-round emission buffers (see core.Engine.SetEmissionReuse).
+type emissionReuser interface {
+	SetEmissionReuse(on bool)
+}
+
+// maxBurst bounds how many queued inbound messages one run-loop iteration
+// drains before reacting; it caps both latency and the scratch buffer.
+const maxBurst = 256
+
 // Node is a live lpbcast process: the protocol engine, a transport, and a
 // gossip timer. Create with NewNode, launch with Start, stop with Close.
+//
+// Node's run loop is built for sustained load: inbound messages are
+// drained from the transport in bursts, the engine's append-style API
+// reuses per-node scratch buffers, and all emissions of a burst leave in
+// one Transport.SendBatch call — the steady-state gossip round performs no
+// per-round allocation (see BenchmarkLiveNodeRound).
 type Node struct {
 	id       ProcessID
 	tr       Transport
 	interval time.Duration
 	start    time.Time
+	maxView  int
 
 	mu     sync.Mutex
-	engine *core.Engine
+	engine Engine
 	closed bool
 
 	handler    func(Event)
@@ -256,10 +327,39 @@ type Node struct {
 	dropped    uint64
 	tracer     trace.Tracer
 
+	// Run-loop scratch, touched only by the run goroutine (and by
+	// benchmarks before Start).
+	out   []Message
+	inbox []Message
+
 	cancel chan struct{}
 	wg     sync.WaitGroup
 	once   sync.Once
 }
+
+// Broadcaster is the protocol-agnostic live broadcast API: everything an
+// application needs to publish and receive notifications, regardless of
+// which gossip protocol runs underneath. *Node implements it for every
+// installed Engine (lpbcast by default, the pbcast baseline via
+// WithEngine(PbcastEngine(...))), so testbed experiments can swap
+// protocols behind one variable.
+type Broadcaster interface {
+	// ID returns the process id.
+	ID() ProcessID
+	// Publish broadcasts a notification and returns the assigned event.
+	Publish(payload []byte) (Event, error)
+	// Deliveries returns the delivery channel (nil when a handler is set).
+	Deliveries() <-chan Event
+	// View returns the current partial view.
+	View() []ProcessID
+	// Stats returns cumulative protocol counters.
+	Stats() Stats
+	// Close stops the process.
+	Close() error
+}
+
+var _ Broadcaster = (*Node)(nil)
+var _ Engine = (*core.Engine)(nil)
 
 // NewNode creates a node for process id over tr. The node does not gossip
 // until Start is called.
@@ -288,12 +388,31 @@ func NewNode(id ProcessID, tr Transport, opts ...Option) (*Node, error) {
 	if cfg.handler == nil {
 		n.deliveries = make(chan Event, cfg.deliveryQueue)
 	}
-	eng, err := core.New(id, cfg.engine, n.onDeliver, rng.New(cfg.rngSeed))
+	factory := cfg.engineFactory
+	if factory == nil {
+		engineCfg := cfg.engine
+		factory = func(id ProcessID, deliver func(Event), rngSeed uint64) (Engine, error) {
+			return core.New(id, engineCfg, deliver, rng.New(rngSeed))
+		}
+	}
+	eng, err := factory(id, n.onDeliver, cfg.rngSeed)
 	if err != nil {
 		return nil, err
 	}
+	if eng == nil {
+		return nil, errors.New("lpbcast: engine factory returned nil engine")
+	}
 	if len(cfg.seeds) > 0 {
 		eng.Seed(cfg.seeds)
+	}
+	n.maxView = eng.ViewCap()
+	// When the transport serializes messages before Send/SendBatch return,
+	// the engine may recycle its per-round emission buffers: together with
+	// the node's scratch slices this makes the gossip round allocation-free.
+	if _, ok := tr.(transport.Serializer); ok {
+		if r, ok := eng.(emissionReuser); ok {
+			r.SetEmissionReuse(true)
+		}
 	}
 	n.engine = eng
 	return n, nil
@@ -324,9 +443,11 @@ func (n *Node) onDeliver(ev Event) {
 	select {
 	case n.deliveries <- ev:
 	default:
-		// Drop the oldest delivery to keep the stream fresh.
+		// Drop the oldest delivery to keep the stream fresh. The eviction
+		// is itself a lost delivery, so it counts toward dropped.
 		select {
 		case <-n.deliveries:
+			n.dropped++
 		default:
 		}
 		select {
@@ -362,59 +483,113 @@ func (n *Node) Start() {
 
 // run is the node's single event loop: ticks and inbound messages are
 // serialized here, so the engine needs no locking beyond the API mutex.
+// Inbound messages are drained in bursts — after one blocking receive,
+// whatever else has queued (up to maxBurst) is processed in the same
+// iteration, and all responses leave in one SendBatch.
 func (n *Node) run() {
 	defer n.wg.Done()
 	ticker := time.NewTicker(n.interval)
 	defer ticker.Stop()
+	recv := n.tr.Recv()
 	for {
 		select {
 		case <-n.cancel:
 			return
 		case <-ticker.C:
-			n.mu.Lock()
-			out := n.engine.Tick(n.now())
-			n.mu.Unlock()
-			if len(out) > 0 {
-				n.record(trace.KindGossipSent, NilProcess, EventID{}, len(out))
-			}
-			n.sendAll(out)
-		case m, ok := <-n.tr.Recv():
+			n.gossipRound()
+		case m, ok := <-recv:
 			if !ok {
 				return
 			}
-			if m.To != n.id && m.To != NilProcess {
-				continue // not addressed to us; stray datagram
-			}
-			n.mu.Lock()
-			before := n.engine.Membership().ViewLen()
-			out := n.engine.HandleMessage(m, n.now())
-			after := n.engine.Membership().ViewLen()
-			n.mu.Unlock()
-			if m.Kind == GossipMsgKind {
-				n.record(trace.KindGossipReceived, m.From, EventID{}, 0)
-			}
-			if before != after {
-				n.record(trace.KindViewChange, m.From, EventID{}, after)
-			}
-			for _, o := range out {
-				if o.Kind == RetransmitRequestMsgKind {
-					n.record(trace.KindRetransmitRequest, o.To, EventID{}, len(o.Request))
-				}
-				if o.Kind == RetransmitReplyMsgKind {
-					n.record(trace.KindRetransmitServed, o.To, EventID{}, len(o.Reply))
+			n.inbox = append(n.inbox[:0], m)
+		drain:
+			for len(n.inbox) < maxBurst {
+				select {
+				case m, ok := <-recv:
+					if !ok {
+						break drain
+					}
+					n.inbox = append(n.inbox, m)
+				default:
+					break drain
 				}
 			}
-			n.sendAll(out)
+			n.handleBurst(n.inbox)
 		}
 	}
 }
 
-// sendAll transmits messages, tolerating transport errors (loss is part of
-// the model).
-func (n *Node) sendAll(msgs []Message) {
-	for _, m := range msgs {
-		_ = n.tr.Send(m)
+// gossipRound performs one periodic emission into the node's scratch
+// buffer and flushes it as a single batch.
+func (n *Node) gossipRound() {
+	now := n.now()
+	n.mu.Lock()
+	n.out = n.engine.TickAppend(now, n.out[:0])
+	n.mu.Unlock()
+	if len(n.out) > 0 {
+		n.record(trace.KindGossipSent, NilProcess, EventID{}, len(n.out))
 	}
+	n.flush()
+}
+
+// handleBurst feeds a burst of inbound messages through the engine and
+// flushes every response as a single batch. Untraced nodes take the fast
+// path: the whole burst crosses the engine under one lock acquisition.
+// Traced nodes process per message so every trace event carries exact
+// provenance (which peer's gossip changed the view, which message
+// triggered which retransmission).
+func (n *Node) handleBurst(msgs []Message) {
+	now := n.now()
+	if n.tracer == nil {
+		n.mu.Lock()
+		n.out = n.out[:0]
+		for _, m := range msgs {
+			if m.To != n.id && m.To != NilProcess {
+				continue // not addressed to us; stray datagram
+			}
+			n.out = n.engine.HandleMessageAppend(m, now, n.out)
+		}
+		n.mu.Unlock()
+		n.flush()
+		return
+	}
+	n.out = n.out[:0]
+	for _, m := range msgs {
+		if m.To != n.id && m.To != NilProcess {
+			continue
+		}
+		start := len(n.out)
+		n.mu.Lock()
+		before := n.engine.ViewLen()
+		n.out = n.engine.HandleMessageAppend(m, now, n.out)
+		after := n.engine.ViewLen()
+		n.mu.Unlock()
+		if m.Kind == GossipMsgKind {
+			n.record(trace.KindGossipReceived, m.From, EventID{}, 0)
+		}
+		if before != after {
+			n.record(trace.KindViewChange, m.From, EventID{}, after)
+		}
+		for _, o := range n.out[start:] {
+			if o.Kind == RetransmitRequestMsgKind {
+				n.record(trace.KindRetransmitRequest, o.To, EventID{}, len(o.Request))
+			}
+			if o.Kind == RetransmitReplyMsgKind {
+				n.record(trace.KindRetransmitServed, o.To, EventID{}, len(o.Reply))
+			}
+		}
+	}
+	n.flush()
+}
+
+// flush transmits the scratch buffer as one batch, tolerating transport
+// errors (loss is part of the model).
+func (n *Node) flush() {
+	if len(n.out) == 0 {
+		return
+	}
+	_ = n.tr.SendBatch(n.out)
+	n.out = n.out[:0]
 }
 
 // Publish broadcasts a notification (LPB-CAST) and returns the assigned
