@@ -198,6 +198,48 @@ func BenchmarkInfection10k(b *testing.B) {
 	}
 }
 
+// BenchmarkFigure5aSteadyRound measures one steady-state synchronous
+// round at the Fig. 5(a) scale: a fully-infected n=500 cluster after a
+// long buffer-warming run. The sequential executor is the cloning
+// reference; the sharded executor runs engines in emission-reuse mode
+// over retained buffers and persistent workers, and must not allocate
+// (~0 allocs/op — the ceiling is 2, gated in CI through
+// BENCH_executor.json via cmd/lpbcast-bench).
+func BenchmarkFigure5aSteadyRound(b *testing.B) {
+	for _, v := range []struct {
+		name    string
+		workers int
+	}{
+		{"workers=1", 0},
+		{fmt.Sprintf("workers=%d", benchWorkers()), benchWorkers()},
+	} {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			opts := sim.DefaultOptions(500)
+			opts.Seed = 9
+			opts.Tau = 0
+			opts.Lpbcast.AssumeFromDigest = true
+			opts.Workers = v.workers
+			cluster, err := sim.NewCluster(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cluster.Close()
+			if _, err := cluster.PublishAt(0); err != nil {
+				b.Fatal(err)
+			}
+			for r := 0; r < 300; r++ { // infect fully, reach buffer high-water
+				cluster.RunRound()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cluster.RunRound()
+			}
+		})
+	}
+}
+
 // BenchmarkFigure5bViewSize regenerates Fig. 5(b): infection curves for
 // l ∈ {10, 15, 20} at n=125.
 func BenchmarkFigure5bViewSize(b *testing.B) {

@@ -1,0 +1,419 @@
+// Command lpbcast-bench runs the repository's performance-critical
+// benchmarks outside `go test` and emits machine-readable JSON — the
+// benchmark trajectory artifacts CI gates on.
+//
+// Two suites exist. The executor suite measures the simulator's round
+// executors (sequential reference vs sharded zero-alloc) and a full
+// production-scale infection experiment; the live suite measures the
+// runtime's transport paths (UDP SendBatch packing over loopback, and an
+// in-process cluster broadcast). Results are written as a JSON array of
+// entries carrying ns/op, allocs/op, B/op and auxiliary metrics such as
+// datagrams per op (see README "Benchmark trajectory" for the format).
+//
+// Usage:
+//
+//	lpbcast-bench                          # run both suites, write BENCH_*.json
+//	lpbcast-bench -suite executor          # one suite only
+//	lpbcast-bench -check                   # compare against the checked-in
+//	                                       # baselines before overwriting;
+//	                                       # exit 1 on an allocs/op regression
+//	lpbcast-bench -quick                   # reduced sizes (smoke/test mode)
+//
+// The regression gate is allocation-based on purpose: allocs/op is
+// deterministic across machines for a given Go version, while ns/op on a
+// shared CI runner is not. Entries with "gate": false (timing-dependent
+// benchmarks) are reported but never gated; entries with a "max_allocs"
+// bound additionally enforce an absolute ceiling, machine-independent.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	lpbcast "repro"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lpbcast-bench:", err)
+		os.Exit(1)
+	}
+}
+
+// Entry is one benchmark record of the trajectory file.
+type Entry struct {
+	// Name identifies the benchmark; comparisons match entries by Name,
+	// so names must be machine-independent (no core counts).
+	Name string `json:"name"`
+	// NsPerOp is wall time per operation — informational, never gated.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp and BytesPerOp are the gated quantities.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	// Metrics carries benchmark-specific numbers (datagrams/op, workers).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Gate marks the entry as participating in the regression check.
+	Gate bool `json:"gate"`
+	// MaxAllocs, when >= 0, is an absolute allocs/op ceiling (the
+	// zero-alloc acceptance gates). -1 disables the ceiling.
+	MaxAllocs int64 `json:"max_allocs"`
+}
+
+// benchCase pairs a trajectory entry skeleton with its benchmark body.
+type benchCase struct {
+	name      string
+	gate      bool
+	maxAllocs int64
+	fn        func(b *testing.B)
+	cleanup   func() // releases state cached across b.N scaling runs
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lpbcast-bench", flag.ContinueOnError)
+	var (
+		suite       = fs.String("suite", "all", "benchmarks to run: executor, live, all")
+		executorOut = fs.String("executor-out", "BENCH_executor.json", "executor suite output path")
+		liveOut     = fs.String("live-out", "BENCH_live.json", "live suite output path")
+		check       = fs.Bool("check", false, "compare fresh results against the existing files and fail on allocs/op regression")
+		tolerance   = fs.Float64("tolerance", 0.25, "relative allocs/op headroom for the regression check")
+		quick       = fs.Bool("quick", false, "reduced problem sizes (CI smoke / tests)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	type job struct {
+		label string
+		out   string
+		cases []benchCase
+	}
+	var jobs []job
+	if *suite == "all" || *suite == "executor" {
+		jobs = append(jobs, job{"executor", *executorOut, executorSuite(*quick)})
+	}
+	if *suite == "all" || *suite == "live" {
+		jobs = append(jobs, job{"live", *liveOut, liveSuite(*quick)})
+	}
+	if len(jobs) == 0 {
+		return fmt.Errorf("unknown suite %q (want executor, live, or all)", *suite)
+	}
+
+	failed := false
+	for _, j := range jobs {
+		fmt.Printf("# suite %s\n", j.label)
+		entries := make([]Entry, 0, len(j.cases))
+		for _, c := range j.cases {
+			res := testing.Benchmark(c.fn)
+			if c.cleanup != nil {
+				c.cleanup()
+			}
+			e := Entry{
+				Name:        c.name,
+				NsPerOp:     float64(res.NsPerOp()),
+				AllocsPerOp: res.AllocsPerOp(),
+				BytesPerOp:  res.AllocedBytesPerOp(),
+				Gate:        c.gate,
+				MaxAllocs:   c.maxAllocs,
+			}
+			if len(res.Extra) > 0 {
+				e.Metrics = make(map[string]float64, len(res.Extra))
+				for k, v := range res.Extra {
+					e.Metrics[k] = v
+				}
+			}
+			fmt.Printf("%-46s %12.0f ns/op %10d allocs/op %12d B/op\n",
+				e.Name, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp)
+			entries = append(entries, e)
+		}
+		if *check {
+			problems, err := checkRegression(j.out, entries, *tolerance)
+			if err != nil {
+				return err
+			}
+			for _, p := range problems {
+				fmt.Fprintln(os.Stderr, "REGRESSION:", p)
+				failed = true
+			}
+		}
+		if err := writeEntries(j.out, entries); err != nil {
+			return err
+		}
+	}
+	if failed {
+		return fmt.Errorf("allocation regressions detected (see above)")
+	}
+	return nil
+}
+
+// writeEntries writes the trajectory file (a JSON array of entries).
+func writeEntries(path string, entries []Entry) error {
+	buf, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// readEntries loads a trajectory file.
+func readEntries(path string) ([]Entry, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []Entry
+	if err := json.Unmarshal(buf, &entries); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return entries, nil
+}
+
+// checkRegression compares fresh entries against the baseline file.
+// An entry regresses when its allocs/op exceeds its absolute MaxAllocs
+// ceiling, or — for gated entries with a matching baseline — the baseline
+// allocs/op plus the relative tolerance (with a small absolute slack so a
+// baseline of 0 does not forbid a single new allocation outright).
+func checkRegression(baselinePath string, fresh []Entry, tolerance float64) ([]string, error) {
+	baseline, err := readEntries(baselinePath)
+	if os.IsNotExist(err) {
+		return nil, nil // first run: nothing to compare against
+	}
+	if err != nil {
+		return nil, err
+	}
+	byName := make(map[string]Entry, len(baseline))
+	for _, e := range baseline {
+		byName[e.Name] = e
+	}
+	const slack = 2 // absolute allocs of grace on top of the relative headroom
+	var problems []string
+	for _, e := range fresh {
+		if e.MaxAllocs >= 0 && e.AllocsPerOp > e.MaxAllocs {
+			problems = append(problems, fmt.Sprintf(
+				"%s: %d allocs/op exceeds the absolute ceiling %d",
+				e.Name, e.AllocsPerOp, e.MaxAllocs))
+			continue
+		}
+		base, ok := byName[e.Name]
+		if !ok || !e.Gate {
+			continue
+		}
+		limit := int64(float64(base.AllocsPerOp)*(1+tolerance)) + slack
+		if e.AllocsPerOp > limit {
+			problems = append(problems, fmt.Sprintf(
+				"%s: %d allocs/op vs baseline %d (limit %d)",
+				e.Name, e.AllocsPerOp, base.AllocsPerOp, limit))
+		}
+	}
+	return problems, nil
+}
+
+// steadyCluster builds a fully-infected, buffer-warmed cluster: after the
+// long warmup every view map, subs list, and executor scratch buffer has
+// reached its high-water capacity, so remaining allocations are the
+// protocol's own.
+func steadyCluster(n, workers, warmRounds int) (*sim.Cluster, error) {
+	opts := sim.DefaultOptions(n)
+	opts.Seed = 9
+	opts.Tau = 0
+	opts.Lpbcast.AssumeFromDigest = true
+	opts.Workers = workers
+	cluster, err := sim.NewCluster(opts)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := cluster.PublishAt(0); err != nil {
+		cluster.Close()
+		return nil, err
+	}
+	for r := 0; r < warmRounds; r++ {
+		cluster.RunRound()
+	}
+	return cluster, nil
+}
+
+// benchWorkers is the shard count of the parallel executor variants: all
+// cores, but at least 2 so the sharded code path (and its zero-alloc
+// emission reuse) is exercised even on a single-core runner.
+func benchWorkers() int {
+	if w := runtime.GOMAXPROCS(0); w > 2 {
+		return w
+	}
+	return 2
+}
+
+// executorSuite builds the simulator benchmarks.
+func executorSuite(quick bool) []benchCase {
+	n, warm := 2_000, 300
+	infectionN := 10_000
+	if quick {
+		n, warm = 200, 60
+		infectionN = 500
+	}
+	steady := func(workers int, maxAllocs int64) benchCase {
+		label := "workers=1"
+		if workers != 0 {
+			label = "workers=max"
+		}
+		var cluster *sim.Cluster // built once, reused across b.N scaling runs
+		return benchCase{
+			name:      fmt.Sprintf("executor/steady-round/n=%d/%s", n, label),
+			gate:      true,
+			maxAllocs: maxAllocs,
+			fn: func(b *testing.B) {
+				if cluster == nil {
+					var err error
+					if cluster, err = steadyCluster(n, workers, warm); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					cluster.RunRound()
+				}
+				b.StopTimer()
+				// After ResetTimer: it clears previously reported metrics.
+				b.ReportMetric(float64(workers), "workers")
+			},
+			cleanup: func() {
+				if cluster != nil {
+					cluster.Close()
+				}
+			},
+		}
+	}
+	return []benchCase{
+		// The sequential executor is the cloning reference; it is gated
+		// only relative to its own baseline.
+		steady(0, -1),
+		// The sharded executor runs engines in emission-reuse mode over
+		// retained buffers and persistent workers: the zero-alloc
+		// acceptance criterion, as an absolute ceiling.
+		steady(benchWorkers(), 2),
+		{
+			name: fmt.Sprintf("executor/infection/n=%d/workers=max", infectionN),
+			gate: true, maxAllocs: -1,
+			fn: func(b *testing.B) {
+				var infected float64
+				for i := 0; i < b.N; i++ {
+					o := sim.DefaultOptions(infectionN)
+					o.Seed = 3
+					o.Workers = benchWorkers()
+					o.Lpbcast.AssumeFromDigest = true
+					res, err := sim.InfectionExperiment(o, 12, 1)
+					if err != nil {
+						b.Fatal(err)
+					}
+					infected = res.PerRound[len(res.PerRound)-1]
+				}
+				b.ReportMetric(infected, "infected@round12")
+			},
+		},
+	}
+}
+
+// liveSuite builds the runtime transport benchmarks.
+func liveSuite(quick bool) []benchCase {
+	peers := 15
+	perPeer := 3
+	if quick {
+		peers = 4
+	}
+	return []benchCase{
+		{
+			// One gossip round's worth of UDP traffic: perPeer messages to
+			// each of peers destinations, packed into one container
+			// datagram per destination. Exercises the lock-free stats
+			// counters on the datagram path.
+			name: fmt.Sprintf("live/udp-sendbatch/peers=%d", peers),
+			gate: true, maxAllocs: -1,
+			fn: func(b *testing.B) {
+				src, err := transport.NewUDP(1, "127.0.0.1:0")
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer src.Close()
+				sinks := make([]*transport.UDP, peers)
+				var burst []proto.Message
+				for i := range sinks {
+					id := proto.ProcessID(i + 2)
+					p, err := transport.NewUDP(id, "127.0.0.1:0")
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer p.Close()
+					sinks[i] = p
+					if err := src.AddPeer(id, p.LocalAddr()); err != nil {
+						b.Fatal(err)
+					}
+					for k := 0; k < perPeer; k++ {
+						burst = append(burst, proto.Message{
+							Kind: proto.GossipMsg, From: 1, To: id,
+							Gossip: &proto.Gossip{
+								From:   1,
+								Subs:   []proto.ProcessID{1},
+								Digest: []proto.EventID{{Origin: 1, Seq: uint64(k + 1)}},
+							},
+						})
+					}
+				}
+				sentBefore, _, _ := src.Stats()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := src.SendBatch(burst); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				sentAfter, _, _ := src.Stats()
+				b.ReportMetric(float64(sentAfter-sentBefore)/float64(b.N), "datagrams/op")
+				b.ReportMetric(float64(len(burst)), "messages/op")
+			},
+		},
+		{
+			// End-to-end latency of the goroutine-per-node runtime: one
+			// publish reaching a far node through timer-driven gossip.
+			// Timing- and scheduler-dependent, so reported but never gated.
+			name: fmt.Sprintf("live/inproc-broadcast/n=%d", clusterN(quick)),
+			gate: false, maxAllocs: -1,
+			fn: func(b *testing.B) {
+				n := clusterN(quick)
+				cluster, err := lpbcast.NewCluster(lpbcast.ClusterConfig{
+					N:              n,
+					GossipInterval: 2 * time.Millisecond,
+					Seed:           1,
+					NodeOptions:    []lpbcast.Option{lpbcast.WithViewSize(8)},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer cluster.Close()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ev, err := cluster.Node(lpbcast.ProcessID(i%n + 1)).Publish([]byte("bench"))
+					if err != nil {
+						b.Fatal(err)
+					}
+					target := lpbcast.ProcessID((i+n/2)%n + 1)
+					if !cluster.AwaitDelivery(target, ev.ID, 5*time.Second) {
+						b.Fatalf("delivery %d timed out", i)
+					}
+				}
+			},
+		},
+	}
+}
+
+// clusterN sizes the in-process broadcast cluster.
+func clusterN(quick bool) int {
+	if quick {
+		return 8
+	}
+	return 32
+}

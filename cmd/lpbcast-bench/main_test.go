@@ -1,0 +1,119 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestTrajectoryRoundTrip pins the BENCH_*.json format: what the tool
+// writes, it (and the CI gate) can read back unchanged.
+func TestTrajectoryRoundTrip(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	entries := []Entry{
+		{Name: "a/b/c", NsPerOp: 1234.5, AllocsPerOp: 7, BytesPerOp: 99,
+			Metrics: map[string]float64{"datagrams/op": 15}, Gate: true, MaxAllocs: -1},
+		{Name: "d", Gate: false, MaxAllocs: 2},
+	}
+	if err := writeEntries(path, entries); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readEntries(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(entries, got) {
+		t.Errorf("round trip mismatch:\nwrote %+v\nread  %+v", entries, got)
+	}
+}
+
+// TestCheckRegression covers the gate rules: absolute ceilings, relative
+// headroom, ungated entries, unknown names, and a missing baseline file.
+func TestCheckRegression(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "BENCH_base.json")
+	if err := writeEntries(baseline, []Entry{
+		{Name: "steady", AllocsPerOp: 0, Gate: true, MaxAllocs: 2},
+		{Name: "relative", AllocsPerOp: 100, Gate: true, MaxAllocs: -1},
+		{Name: "ungated", AllocsPerOp: 10, Gate: false, MaxAllocs: -1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name     string
+		fresh    []Entry
+		problems int
+	}{
+		{"clean", []Entry{
+			{Name: "steady", AllocsPerOp: 1, Gate: true, MaxAllocs: 2},
+			{Name: "relative", AllocsPerOp: 110, Gate: true, MaxAllocs: -1},
+		}, 0},
+		{"absolute ceiling", []Entry{
+			{Name: "steady", AllocsPerOp: 3, Gate: true, MaxAllocs: 2},
+		}, 1},
+		{"relative regression", []Entry{
+			{Name: "relative", AllocsPerOp: 200, Gate: true, MaxAllocs: -1},
+		}, 1},
+		{"ungated entries never fail", []Entry{
+			{Name: "ungated", AllocsPerOp: 10_000, Gate: false, MaxAllocs: -1},
+		}, 0},
+		{"new benchmark without baseline passes", []Entry{
+			{Name: "brand-new", AllocsPerOp: 10_000, Gate: true, MaxAllocs: -1},
+		}, 0},
+	}
+	for _, tc := range cases {
+		problems, err := checkRegression(baseline, tc.fresh, 0.25)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(problems) != tc.problems {
+			t.Errorf("%s: got %d problems %v, want %d", tc.name, len(problems), problems, tc.problems)
+		}
+	}
+
+	// A missing baseline is the bootstrap case, not an error.
+	problems, err := checkRegression(filepath.Join(dir, "missing.json"), cases[0].fresh, 0.25)
+	if err != nil || len(problems) != 0 {
+		t.Errorf("missing baseline: problems=%v err=%v, want none", problems, err)
+	}
+
+	// A corrupt baseline is an error (the gate must not silently pass).
+	corrupt := filepath.Join(dir, "corrupt.json")
+	if err := os.WriteFile(corrupt, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := checkRegression(corrupt, cases[0].fresh, 0.25); err == nil {
+		t.Error("corrupt baseline: want an error")
+	}
+}
+
+// TestRunQuickLiveSuite is the end-to-end smoke: the quick live suite
+// runs, writes a valid trajectory file, and a -check re-run against the
+// freshly written baseline reports no regression.
+func TestRunQuickLiveSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real benchmarks; skipped with -short")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_live.json")
+	if err := run([]string{"-quick", "-suite", "live", "-live-out", out}); err != nil {
+		t.Fatalf("run(live): %v", err)
+	}
+	entries, err := readEntries(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("live suite wrote no entries")
+	}
+	if entries[0].Metrics["datagrams/op"] == 0 {
+		t.Errorf("udp-sendbatch reported no datagrams: %+v", entries[0])
+	}
+	// Same machine, same binary, fresh baseline: must pass the gate.
+	if err := run([]string{"-quick", "-suite", "live", "-live-out", out, "-check"}); err != nil {
+		t.Fatalf("run(live -check) regressed against itself: %v", err)
+	}
+}

@@ -91,6 +91,10 @@ func (p *pbcastEngine) Seed(ps []ProcessID) { p.n.Seed(ps) }
 
 func (p *pbcastEngine) Knows(id EventID) bool { return p.n.Delivered(id) }
 
+// SetEmissionReuse forwards the reuse-mode seam, so a pbcast engine behind
+// a Serializer transport runs the same zero-alloc emission path as lpbcast.
+func (p *pbcastEngine) SetEmissionReuse(on bool) { p.n.SetEmissionReuse(on) }
+
 // Stats maps the pbcast counters onto the shared Broadcaster counters so
 // the two protocols report through one vocabulary: solicitations are
 // retransmission requests, served retransmissions are retransmissions.

@@ -5,15 +5,109 @@ import (
 	"repro/internal/rng"
 )
 
-// PIDList is a bounded, duplicate-free list of process identifiers —
-// the representation of the subs buffer.
+// PIDList is a bounded, duplicate-free list of process identifiers — the
+// representation of the subs buffer. Unlike the generic KeyedList it is
+// backed by a plain slice with linear membership scans: a subs buffer
+// holds at most |subs|m plus one gossip's inflow (a few dozen entries),
+// where a scan over packed uint64s outruns a hash map — and, decisively
+// for the zero-alloc hot path, a slice at its high-water capacity never
+// reallocates, while map metadata keeps growing under delete/insert churn.
 type PIDList struct {
-	KeyedList[proto.ProcessID, proto.ProcessID]
+	items []proto.ProcessID
 }
 
 // NewPIDList creates an empty PIDList.
-func NewPIDList() *PIDList {
-	return &PIDList{*NewKeyedList(func(p proto.ProcessID) proto.ProcessID { return p })}
+func NewPIDList() *PIDList { return &PIDList{} }
+
+// indexOf returns p's position, or -1.
+func (l *PIDList) indexOf(p proto.ProcessID) int {
+	for i, q := range l.items {
+		if q == p {
+			return i
+		}
+	}
+	return -1
+}
+
+// Add appends p unless present, reporting whether it was added.
+func (l *PIDList) Add(p proto.ProcessID) bool {
+	if l.indexOf(p) >= 0 {
+		return false
+	}
+	l.items = append(l.items, p)
+	return true
+}
+
+// Contains reports whether p is buffered.
+func (l *PIDList) Contains(p proto.ProcessID) bool { return l.indexOf(p) >= 0 }
+
+// Remove deletes p, preserving the order of the rest. It reports whether
+// an element was removed.
+func (l *PIDList) Remove(p proto.ProcessID) bool {
+	i := l.indexOf(p)
+	if i < 0 {
+		return false
+	}
+	l.items = append(l.items[:i], l.items[i+1:]...)
+	return true
+}
+
+// Len returns the number of buffered identifiers.
+func (l *PIDList) Len() int { return len(l.items) }
+
+// At returns the i-th identifier in insertion order.
+func (l *PIDList) At(i int) proto.ProcessID { return l.items[i] }
+
+// Items returns a copy of the identifiers in insertion order.
+func (l *PIDList) Items() []proto.ProcessID {
+	if len(l.items) == 0 {
+		return nil
+	}
+	return append([]proto.ProcessID(nil), l.items...)
+}
+
+// AppendItems appends the identifiers in insertion order to dst.
+func (l *PIDList) AppendItems(dst []proto.ProcessID) []proto.ProcessID {
+	return append(dst, l.items...)
+}
+
+// Grow pre-allocates capacity for n identifiers.
+func (l *PIDList) Grow(n int) {
+	if cap(l.items) < n {
+		items := make([]proto.ProcessID, len(l.items), n)
+		copy(items, l.items)
+		l.items = items
+	}
+}
+
+// TruncateRandom removes uniformly chosen identifiers until Len() <= max,
+// returning the removed identifiers.
+func (l *PIDList) TruncateRandom(max int, r *rng.Source) []proto.ProcessID {
+	if max < 0 {
+		max = 0
+	}
+	var removed []proto.ProcessID
+	for len(l.items) > max {
+		i := r.Intn(len(l.items))
+		removed = append(removed, l.items[i])
+		l.items = append(l.items[:i], l.items[i+1:]...)
+	}
+	return removed
+}
+
+// TruncateRandomDiscard removes uniformly chosen identifiers until
+// Len() <= max, returning only the count (same draws as TruncateRandom).
+func (l *PIDList) TruncateRandomDiscard(max int, r *rng.Source) int {
+	if max < 0 {
+		max = 0
+	}
+	n := 0
+	for len(l.items) > max {
+		i := r.Intn(len(l.items))
+		l.items = append(l.items[:i], l.items[i+1:]...)
+		n++
+	}
+	return n
 }
 
 // UnsubList is a bounded, duplicate-free list of unsubscriptions keyed by
@@ -60,6 +154,15 @@ func (l *UnsubList) AppendItems(dst []proto.Unsubscription) []proto.Unsubscripti
 func (l *UnsubList) TruncateRandom(max int, r *rng.Source) []proto.Unsubscription {
 	return l.inner.TruncateRandom(max, r)
 }
+
+// TruncateRandomDiscard removes random entries until Len() <= max,
+// returning only the count (same draws as TruncateRandom, no allocation).
+func (l *UnsubList) TruncateRandomDiscard(max int, r *rng.Source) int {
+	return l.inner.TruncateRandomDiscard(max, r)
+}
+
+// Grow pre-allocates capacity for n entries.
+func (l *UnsubList) Grow(n int) { l.inner.Grow(n) }
 
 // Expire drops every unsubscription whose stamp is older than now-ttl
 // (§3.4: "After a certain time, the unsubscription becomes obsolete").
@@ -117,6 +220,15 @@ func (b *EventBuffer) TruncateRandom(max int, r *rng.Source) []proto.Event {
 	return b.inner.TruncateRandom(max, r)
 }
 
+// TruncateRandomDiscard removes random events until Len() <= max,
+// returning only the count (same draws as TruncateRandom, no allocation).
+func (b *EventBuffer) TruncateRandomDiscard(max int, r *rng.Source) int {
+	return b.inner.TruncateRandomDiscard(max, r)
+}
+
+// Grow pre-allocates capacity for n events.
+func (b *EventBuffer) Grow(n int) { b.inner.Grow(n) }
+
 // Remove deletes the event with the given id, reporting whether it was
 // present (used by weighted eviction policies).
 func (b *EventBuffer) Remove(id proto.EventID) bool { return b.inner.Remove(id) }
@@ -159,6 +271,16 @@ func (b *IDBuffer) AppendIDs(dst []proto.EventID) []proto.EventID {
 func (b *IDBuffer) TruncateOldest(max int) []proto.EventID {
 	return b.inner.TruncateOldest(max)
 }
+
+// TruncateOldestDiscard evicts oldest identifiers until Len() <= max,
+// returning only the count — the allocation-free path record() runs on
+// every delivery.
+func (b *IDBuffer) TruncateOldestDiscard(max int) int {
+	return b.inner.TruncateOldestDiscard(max)
+}
+
+// Grow pre-allocates capacity for n identifiers.
+func (b *IDBuffer) Grow(n int) { b.inner.Grow(n) }
 
 // Archive is the bounded store of older notifications kept "only ... to
 // satisfy retransmission requests" (§3.2). Eviction is oldest-first.

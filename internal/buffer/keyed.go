@@ -125,6 +125,48 @@ func (l *KeyedList[K, V]) TruncateRandom(max int, r *rng.Source) []V {
 	return removed
 }
 
+// Grow pre-allocates capacity for at least n elements, so a bounded list
+// sized to its configuration bound up front never reallocates on the hot
+// path (the long convergence tail of growing thousands of per-process
+// buffers toward their high-water marks one append at a time).
+func (l *KeyedList[K, V]) Grow(n int) {
+	if cap(l.items) < n {
+		items := make([]V, len(l.items), n)
+		copy(items, l.items)
+		l.items = items
+	}
+	// Rebuild the index with twice the capacity hint: delete/insert churn
+	// at occupancy n still triggers occasional incremental map growth at a
+	// 1x hint (tombstone pressure), and across thousands of process
+	// buffers that trickle dominates steady-state allocation. The doubled
+	// hint absorbs it entirely.
+	if len(l.idx) < n {
+		idx := make(map[K]struct{}, 2*n)
+		for k := range l.idx {
+			idx[k] = struct{}{}
+		}
+		l.idx = idx
+	}
+}
+
+// TruncateRandomDiscard removes uniformly chosen elements until
+// Len() <= max, returning only how many were removed. It consumes exactly
+// the same random draws as TruncateRandom but never materializes the
+// removed elements, keeping per-message truncation allocation-free.
+func (l *KeyedList[K, V]) TruncateRandomDiscard(max int, r *rng.Source) int {
+	if max < 0 {
+		max = 0
+	}
+	n := 0
+	for len(l.items) > max {
+		i := r.Intn(len(l.items))
+		delete(l.idx, l.key(l.items[i]))
+		l.items = append(l.items[:i], l.items[i+1:]...)
+		n++
+	}
+	return n
+}
+
 // TruncateOldest removes elements from the front (oldest first) until
 // Len() <= max, returning the removed elements. This is the paper's
 // "remove oldest element" truncation for eventIds.
@@ -142,6 +184,25 @@ func (l *KeyedList[K, V]) TruncateOldest(max int) []V {
 	}
 	l.items = append(l.items[:0], l.items[n:]...)
 	return removed
+}
+
+// TruncateOldestDiscard removes elements from the front (oldest first)
+// until Len() <= max, returning only how many were removed — the
+// allocation-free sibling of TruncateOldest for callers that do not need
+// the evicted elements.
+func (l *KeyedList[K, V]) TruncateOldestDiscard(max int) int {
+	if max < 0 {
+		max = 0
+	}
+	if len(l.items) <= max {
+		return 0
+	}
+	n := len(l.items) - max
+	for _, v := range l.items[:n] {
+		delete(l.idx, l.key(v))
+	}
+	l.items = append(l.items[:0], l.items[n:]...)
+	return n
 }
 
 // RemoveRandom removes and returns one uniformly chosen element. The second

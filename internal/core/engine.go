@@ -215,8 +215,10 @@ func New(self proto.ProcessID, cfg Config, deliver Deliverer, r *rng.Source) (*E
 		deliver: deliver,
 		rng:     r,
 	}
+	e.events.Grow(cfg.MaxEvents + 1)
 	if cfg.DigestMode == FlatDigest {
 		e.flat = buffer.NewIDBuffer()
+		e.flat.Grow(cfg.MaxEventIDs + 1)
 	}
 	if cfg.DigestMode == CompactDigest || cfg.DedupMemory {
 		e.compact = buffer.NewCompactDigest()
@@ -273,7 +275,7 @@ func (e *Engine) knows(id proto.EventID) bool {
 func (e *Engine) record(id proto.EventID) {
 	if e.flat != nil {
 		e.flat.Add(id)
-		e.flat.TruncateOldest(e.cfg.MaxEventIDs)
+		e.flat.TruncateOldestDiscard(e.cfg.MaxEventIDs)
 	}
 	if e.compact != nil {
 		e.compact.Add(id)
@@ -315,8 +317,8 @@ func (e *Engine) deliverEvent(ev proto.Event) {
 func (e *Engine) bufferForForwarding(ev proto.Event) {
 	e.events.Add(ev)
 	if !e.cfg.WeightedEventEviction {
-		evicted := e.events.TruncateRandom(e.cfg.MaxEvents, e.rng)
-		e.stats.EventsOverflowed += uint64(len(evicted))
+		evicted := e.events.TruncateRandomDiscard(e.cfg.MaxEvents, e.rng)
+		e.stats.EventsOverflowed += uint64(evicted)
 		return
 	}
 	for e.events.Len() > e.cfg.MaxEvents {

@@ -126,6 +126,13 @@ func NewManager(self proto.ProcessID, cfg Config, r *rng.Source) (*Manager, erro
 		keep:   make(map[proto.ProcessID]bool, len(cfg.Prioritary)),
 		rng:    r,
 	}
+	// Pre-size every bounded buffer to its transient high-water mark (the
+	// configured bound plus one gossip's worth of inflow), so the
+	// per-message view/subs churn never reallocates in steady state.
+	inflow := cfg.MaxSubs + 2
+	m.view.Grow(cfg.MaxView + inflow)
+	m.subs.Grow(cfg.MaxSubs + cfg.MaxView + inflow)
+	m.unsubs.Grow(cfg.MaxUnsubs + inflow)
 	for _, p := range cfg.Prioritary {
 		if p != self {
 			m.keep[p] = true
@@ -186,7 +193,7 @@ func (m *Manager) ApplyUnsubs(unsubs []proto.Unsubscription, now uint64) {
 		m.unsubs.Add(u)
 	}
 	m.unsubs.Expire(now, m.cfg.UnsubTTL)
-	m.unsubs.TruncateRandom(m.cfg.MaxUnsubs, m.rng)
+	m.unsubs.TruncateRandomDiscard(m.cfg.MaxUnsubs, m.rng)
 }
 
 // ApplySubs executes phase 2 of gossip reception: merge new subscriptions
@@ -231,15 +238,15 @@ func (m *Manager) truncateView() {
 // favour poorly-known processes (§6.1); under Uniform, victims are random.
 func (m *Manager) truncateSubs() {
 	if m.cfg.Policy != Weighted {
-		m.subs.TruncateRandom(m.cfg.MaxSubs, m.rng)
+		m.subs.TruncateRandomDiscard(m.cfg.MaxSubs, m.rng)
 		return
 	}
 	for m.subs.Len() > m.cfg.MaxSubs {
-		items := m.subs.Items()
-		victim := items[0]
+		victim := m.subs.At(0)
 		best := m.view.Weight(victim)
 		ties := 1
-		for _, p := range items[1:] {
+		for i, ln := 1, m.subs.Len(); i < ln; i++ {
+			p := m.subs.At(i)
 			w := m.view.Weight(p)
 			switch {
 			case w > best:

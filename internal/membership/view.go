@@ -30,25 +30,73 @@ type Entry struct {
 }
 
 // View is a bounded, duplicate-free set of processes with per-entry
-// weights and O(1) membership tests. It never contains its owner.
+// weights. It never contains its owner. Membership tests are linear scans
+// over the entry list: a view holds at most l plus one gossip's inflow
+// (a few dozen entries), where a packed scan beats a hash map — and the
+// scan structure never reallocates under the per-message add/evict churn
+// the way map metadata does, which is what keeps large simulations
+// allocation-free in steady state.
 //
 // View is not safe for concurrent use.
 type View struct {
 	owner proto.ProcessID
-	idx   map[proto.ProcessID]int // process -> position in entries
 	list  []Entry
 
-	pickScratch []int // reused by AppendPick
+	pickScratch []int             // reused by AppendPick
+	candScratch []int             // reused by truncate (eviction candidates)
+	bestScratch []int             // reused by truncate (weighted tie set)
+	removed     []proto.ProcessID // reused by truncate (return value)
 }
 
 // NewView creates an empty view owned by owner. The owner can never be
 // added to its own view (§4.1, footnote 8).
 func NewView(owner proto.ProcessID) *View {
-	return &View{owner: owner, idx: make(map[proto.ProcessID]int)}
+	return &View{owner: owner}
 }
 
 // Owner returns the owning process.
 func (v *View) Owner() proto.ProcessID { return v.owner }
+
+// Grow pre-allocates the entry list and every truncation scratch buffer
+// for at least n entries. Sizing a view to its transient
+// bound (l plus one gossip's subscription inflow) at construction keeps
+// the per-message ApplySubs/truncate path from ever reallocating — without
+// it, thousands of views grow their buffers toward the high-water mark one
+// append at a time, a convergence tail that dominates steady-state
+// allocation in large simulations.
+func (v *View) Grow(n int) {
+	grow := func(s []int) []int {
+		if cap(s) < n {
+			g := make([]int, len(s), n)
+			copy(g, s)
+			return g
+		}
+		return s
+	}
+	if cap(v.list) < n {
+		list := make([]Entry, len(v.list), n)
+		copy(list, v.list)
+		v.list = list
+	}
+	v.pickScratch = grow(v.pickScratch)
+	v.candScratch = grow(v.candScratch)
+	v.bestScratch = grow(v.bestScratch)
+	if cap(v.removed) < n {
+		removed := make([]proto.ProcessID, len(v.removed), n)
+		copy(removed, v.removed)
+		v.removed = removed
+	}
+}
+
+// indexOf returns p's position in the entry list, or -1.
+func (v *View) indexOf(p proto.ProcessID) int {
+	for i := range v.list {
+		if v.list[i].Process == p {
+			return i
+		}
+	}
+	return -1
+}
 
 // Add inserts p with weight 1, reporting whether it was added. Adding the
 // owner or a duplicate is a no-op returning false.
@@ -56,33 +104,27 @@ func (v *View) Add(p proto.ProcessID) bool {
 	if p == v.owner || p == proto.NilProcess {
 		return false
 	}
-	if _, dup := v.idx[p]; dup {
+	if v.indexOf(p) >= 0 {
 		return false
 	}
-	v.idx[p] = len(v.list)
 	v.list = append(v.list, Entry{Process: p, Weight: 1})
 	return true
 }
 
 // Contains reports whether p is in the view.
-func (v *View) Contains(p proto.ProcessID) bool {
-	_, ok := v.idx[p]
-	return ok
-}
+func (v *View) Contains(p proto.ProcessID) bool { return v.indexOf(p) >= 0 }
 
 // Remove deletes p, reporting whether it was present.
 func (v *View) Remove(p proto.ProcessID) bool {
-	i, ok := v.idx[p]
-	if !ok {
+	i := v.indexOf(p)
+	if i < 0 {
 		return false
 	}
 	last := len(v.list) - 1
 	if i != last {
 		v.list[i] = v.list[last]
-		v.idx[v.list[i].Process] = i
 	}
 	v.list = v.list[:last]
-	delete(v.idx, p)
 	return true
 }
 
@@ -111,7 +153,7 @@ func (v *View) Entries() []Entry {
 
 // Weight returns p's awareness weight (0 if absent).
 func (v *View) Weight(p proto.ProcessID) int {
-	if i, ok := v.idx[p]; ok {
+	if i := v.indexOf(p); i >= 0 {
 		return v.list[i].Weight
 	}
 	return 0
@@ -121,8 +163,8 @@ func (v *View) Weight(p proto.ProcessID) int {
 // Called when an incoming subs list re-announces a process we already know
 // (§6.1: "the weight of pj is increased").
 func (v *View) Bump(p proto.ProcessID) bool {
-	i, ok := v.idx[p]
-	if !ok {
+	i := v.indexOf(p)
+	if i < 0 {
 		return false
 	}
 	v.list[i].Weight++
@@ -164,63 +206,73 @@ func (v *View) removeAt(i int) Entry {
 	last := len(v.list) - 1
 	if i != last {
 		v.list[i] = v.list[last]
-		v.idx[v.list[i].Process] = i
 	}
 	v.list = v.list[:last]
-	delete(v.idx, e.Process)
 	return e
 }
 
 // TruncateUniform removes uniformly chosen entries until Len() <= max,
 // never evicting processes in keep. Removed processes are returned (they
-// stay eligible for forwarding via subs, per Fig. 1(a) phase 2).
+// stay eligible for forwarding via subs, per Fig. 1(a) phase 2). The
+// returned slice is scratch reused by the next truncation: consume it
+// before calling any Truncate* method again, and do not retain it.
 func (v *View) TruncateUniform(max int, keep map[proto.ProcessID]bool, r *rng.Source) []proto.ProcessID {
-	return v.truncate(max, keep, func(cands []int) int {
-		return cands[r.Intn(len(cands))]
-	})
+	return v.truncate(max, keep, false, r)
 }
 
 // TruncateWeighted removes the highest-weight entries first (ties broken
 // uniformly) until Len() <= max — the §6.1 heuristic: well-known entries
 // "are more probable of being known by many other processes" and are
-// evicted first. Entries in keep are never evicted.
+// evicted first. Entries in keep are never evicted. The returned slice
+// follows TruncateUniform's scratch-reuse contract.
 func (v *View) TruncateWeighted(max int, keep map[proto.ProcessID]bool, r *rng.Source) []proto.ProcessID {
-	return v.truncate(max, keep, func(cands []int) int {
-		best := []int{cands[0]}
-		for _, i := range cands[1:] {
-			switch w := v.list[i].Weight; {
-			case w > v.list[best[0]].Weight:
-				best = best[:1]
-				best[0] = i
-			case w == v.list[best[0]].Weight:
-				best = append(best, i)
-			}
-		}
-		return best[r.Intn(len(best))]
-	})
+	return v.truncate(max, keep, true, r)
 }
 
-// truncate repeatedly evicts pickVictim's choice among non-kept entries.
-// If every entry is protected by keep, the view is left over-full rather
-// than evicting a prioritary process.
-func (v *View) truncate(max int, keep map[proto.ProcessID]bool, pickVictim func(cands []int) int) []proto.ProcessID {
+// truncate repeatedly evicts a victim among non-kept entries — uniformly,
+// or the highest-weight entry with uniform tie-breaking when weighted is
+// set. If every entry is protected by keep, the view is left over-full
+// rather than evicting a prioritary process. All bookkeeping lives in
+// scratch slices retained on the View, so truncation under gossip churn —
+// the per-message hot path of a large simulation — does not allocate.
+func (v *View) truncate(max int, keep map[proto.ProcessID]bool, weighted bool, r *rng.Source) []proto.ProcessID {
 	if max < 0 {
 		max = 0
 	}
-	var removed []proto.ProcessID
+	removed := v.removed[:0]
 	for len(v.list) > max {
-		cands := make([]int, 0, len(v.list))
+		cands := v.candScratch[:0]
 		for i, e := range v.list {
 			if !keep[e.Process] {
 				cands = append(cands, i)
 			}
 		}
+		v.candScratch = cands
 		if len(cands) == 0 {
 			break
 		}
-		e := v.removeAt(pickVictim(cands))
+		var victim int
+		if weighted {
+			best := v.bestScratch[:0]
+			best = append(best, cands[0])
+			for _, i := range cands[1:] {
+				switch w := v.list[i].Weight; {
+				case w > v.list[best[0]].Weight:
+					best = best[:1]
+					best[0] = i
+				case w == v.list[best[0]].Weight:
+					best = append(best, i)
+				}
+			}
+			v.bestScratch = best
+			victim = best[r.Intn(len(best))]
+		} else {
+			victim = cands[r.Intn(len(cands))]
+		}
+		e := v.removeAt(victim)
 		removed = append(removed, e.Process)
 	}
+	v.removed = removed
 	return removed
 }
 

@@ -1,6 +1,7 @@
 package pbcast
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/proto"
@@ -71,6 +72,82 @@ func TestHandleMessageAppendZeroAllocKnownDigest(t *testing.T) {
 	}
 	if len(out) != 0 {
 		t.Errorf("known digest produced %d solicitations", len(out))
+	}
+}
+
+// TestTickAppendReuseZeroAlloc: in emission-reuse mode (the seam the
+// simulator's sharded executor and Serializer-transport live nodes opt
+// into), a steady-state tick recycles the gossip and every backing slice —
+// zero allocations.
+func TestTickAppendReuseZeroAlloc(t *testing.T) {
+	n := totalNode(t, DefaultConfig())
+	n.SetEmissionReuse(true)
+	buf := make([]proto.Message, 0, 64)
+	now := uint64(0)
+	for i := 0; i < 5; i++ { // reach scratch high-water capacity
+		now++
+		buf = n.TickAppend(now, buf[:0])
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		now++
+		buf = n.TickAppend(now, buf[:0])
+	})
+	if allocs != 0 {
+		t.Errorf("reuse-mode TickAppend allocates %v times per round, want 0", allocs)
+	}
+	if len(buf) == 0 || buf[0].Gossip == nil {
+		t.Fatal("reuse-mode tick emitted nothing")
+	}
+	prev := buf[0].Gossip
+	buf = n.TickAppend(now+1, buf[:0])
+	if len(buf) == 0 || buf[0].Gossip != prev {
+		t.Error("reuse-mode TickAppend did not recycle the round gossip")
+	}
+}
+
+// TestEmissionReuseDrawEquivalence: a reuse-mode node and a fresh-alloc
+// node built from the same seed must emit byte-identical gossip rounds —
+// the property the simulator's bit-for-bit executor equivalence relies on.
+func TestEmissionReuseDrawEquivalence(t *testing.T) {
+	for _, mode := range []ViewMode{TotalView, PartialView} {
+		cfg := DefaultConfig()
+		cfg.Mode = mode
+		build := func() *Node {
+			n, err := New(1, cfg, nil, rng.New(99))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var all []proto.ProcessID
+			for p := proto.ProcessID(2); p <= 40; p++ {
+				all = append(all, p)
+			}
+			if mode == TotalView {
+				n.SetTotalView(append([]proto.ProcessID{1}, all...))
+			} else {
+				n.Seed(all)
+			}
+			n.Publish([]byte("seed"))
+			return n
+		}
+		plain, reuse := build(), build()
+		reuse.SetEmissionReuse(true)
+		var rbuf []proto.Message
+		for now := uint64(1); now <= 20; now++ {
+			pm := plain.TickAppend(now, nil)
+			rbuf = reuse.TickAppend(now, rbuf[:0])
+			if len(pm) != len(rbuf) {
+				t.Fatalf("%v round %d: %d vs %d messages", mode, now, len(pm), len(rbuf))
+			}
+			for i := range pm {
+				want, got := fmt.Sprintf("%+v", pm[i].To), fmt.Sprintf("%+v", rbuf[i].To)
+				if want != got {
+					t.Fatalf("%v round %d msg %d: target %s vs %s", mode, now, i, want, got)
+				}
+				if fmt.Sprintf("%+v", *pm[i].Gossip) != fmt.Sprintf("%+v", *rbuf[i].Gossip) {
+					t.Fatalf("%v round %d msg %d: gossip diverged", mode, now, i)
+				}
+			}
+		}
 	}
 }
 

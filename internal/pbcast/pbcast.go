@@ -144,6 +144,14 @@ type Node struct {
 	pendingReplies []proto.Message // solicited retransmissions, flushed on next Tick
 	nextSeq        uint64
 	stats          Stats
+
+	// Emission-reuse mode (SetEmissionReuse): the per-round digest gossip,
+	// the target list, and the TotalView sample scratch are recycled across
+	// ticks instead of freshly allocated.
+	reuseEmission  bool
+	scratchGossip  *proto.Gossip
+	scratchTargets []proto.ProcessID
+	scratchIdxs    []int
 }
 
 // New creates a pbcast node. In TotalView mode, the membership is fixed at
@@ -189,6 +197,14 @@ func (n *Node) SetTotalView(all []proto.ProcessID) {
 		}
 	}
 }
+
+// SetEmissionReuse switches TickAppend to recycle one gossip message and
+// its backing slices across rounds, making the steady-state emission path
+// allocation-free — the same seam core.Engine exposes. It is only safe
+// when the driver serializes or fully consumes every emitted message
+// before the next TickAppend call (the live node's Serializer transports;
+// the simulator's synchronous round executor).
+func (n *Node) SetEmissionReuse(on bool) { n.reuseEmission = on }
 
 // Seed bootstraps the partial view (PartialView mode).
 func (n *Node) Seed(ps []proto.ProcessID) {
@@ -256,7 +272,7 @@ func (n *Node) receiveMessage(ev proto.Event, hops int) {
 	}
 	n.stats.MessagesDelivered++
 	n.store.Add(&storedMsg{event: ev, hops: hops})
-	n.store.TruncateOldest(n.cfg.MaxStore)
+	n.store.TruncateOldestDiscard(n.cfg.MaxStore)
 	if n.deliver != nil {
 		n.deliver(ev)
 	}
@@ -275,18 +291,32 @@ func (n *Node) advertisable(m *storedMsg) bool {
 
 // targets picks the gossip targets for this round.
 func (n *Node) targets() []proto.ProcessID {
+	return n.appendTargets(nil)
+}
+
+// appendTargets appends the round's gossip targets to dst. Both membership
+// substrates consume exactly the same random draws as the allocating pick
+// they replace, so reuse mode cannot perturb deterministic schedules.
+func (n *Node) appendTargets(dst []proto.ProcessID) []proto.ProcessID {
+	// One exact up-front grow, so the non-reuse path costs a single
+	// allocation independent of fanout (reuse-mode scratch already has
+	// capacity and skips this).
+	if cap(dst)-len(dst) < n.cfg.Fanout {
+		grown := make([]proto.ProcessID, len(dst), len(dst)+n.cfg.Fanout)
+		copy(grown, dst)
+		dst = grown
+	}
 	if n.mem != nil {
-		return n.mem.Targets(n.cfg.Fanout)
+		return n.mem.AppendTargets(dst, n.cfg.Fanout)
 	}
 	if len(n.total) == 0 {
-		return nil
+		return dst
 	}
-	idxs := n.rng.Sample(len(n.total), n.cfg.Fanout)
-	out := make([]proto.ProcessID, len(idxs))
-	for i, j := range idxs {
-		out[i] = n.total[j]
+	n.scratchIdxs = n.rng.SampleAppend(n.scratchIdxs[:0], len(n.total), n.cfg.Fanout)
+	for _, j := range n.scratchIdxs {
+		dst = append(dst, n.total[j])
 	}
-	return out
+	return dst
 }
 
 // Tick performs one anti-entropy round: flush replies solicited during the
@@ -317,19 +347,43 @@ func (n *Node) TickAppend(now uint64, out []proto.Message) []proto.Message {
 	out = append(out, n.pendingReplies...)
 	n.pendingReplies = n.pendingReplies[:0]
 
-	var digest []proto.EventID
-	for _, m := range n.store.Items() {
+	var g *proto.Gossip
+	var targets []proto.ProcessID
+	if n.reuseEmission {
+		if n.scratchGossip == nil {
+			n.scratchGossip = new(proto.Gossip)
+		}
+		g = n.scratchGossip
+		g.From = n.self
+		g.Digest = g.Digest[:0]
+		g.Subs = g.Subs[:0]
+		g.Unsubs = g.Unsubs[:0]
+	} else {
+		g = &proto.Gossip{From: n.self}
+	}
+	for i, ln := 0, n.store.Len(); i < ln; i++ {
+		m := n.store.At(i)
 		if n.advertisable(m) {
-			digest = append(digest, m.event.ID)
+			g.Digest = append(g.Digest, m.event.ID)
 			m.advertised++
 		}
 	}
-	g := &proto.Gossip{From: n.self, Digest: digest}
 	if n.mem != nil {
-		g.Subs = n.mem.MakeSubs()
-		g.Unsubs = n.mem.MakeUnsubs(now)
+		if n.reuseEmission {
+			g.Subs = n.mem.AppendSubs(g.Subs)
+			g.Unsubs = n.mem.AppendUnsubs(g.Unsubs, now)
+		} else {
+			g.Subs = n.mem.MakeSubs()
+			g.Unsubs = n.mem.MakeUnsubs(now)
+		}
 	}
-	for _, t := range n.targets() {
+	if n.reuseEmission {
+		n.scratchTargets = n.appendTargets(n.scratchTargets[:0])
+		targets = n.scratchTargets
+	} else {
+		targets = n.targets()
+	}
+	for _, t := range targets {
 		out = append(out, proto.Message{Kind: proto.GossipMsg, From: n.self, To: t, Gossip: g})
 		n.stats.GossipsSent++
 	}

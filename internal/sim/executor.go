@@ -2,7 +2,6 @@ package sim
 
 import (
 	"runtime"
-	"sort"
 	"sync"
 
 	"repro/internal/proto"
@@ -34,6 +33,22 @@ import (
 //
 // Delivery recording is a commutative set-union (see recorder), so the
 // only shared mutable state touched concurrently is behind its lock.
+//
+// Steady-state allocation argument. The executor opts every engine into
+// emission reuse (the same seam the live node uses over Serializer
+// transports): TickAppend recycles one gossip and its backing slices per
+// engine. Recycling is safe here because an engine's scratch is only
+// rewritten by its next TickAppend, which cannot run before the next
+// round's tick phase — and by then the current round's outbox has been
+// fully consumed: the sequential loss/crash filter has routed it, every
+// handle phase has read it, and the span merge has drained the response
+// buffers. All executor buffers (outboxes, inboxes, response spans, the
+// hop queues) are retained across rounds, phase closures are built once,
+// and the workers are persistent goroutines signalled over channels, so a
+// steady-state round performs no allocation at all (see
+// TestExecutorRoundAllocs). PoisonRecycled overwrites the recycled
+// buffers with sentinels at the end of every round to catch any future
+// consumer that holds them longer than the round.
 
 // tickAppender is implemented by engines that support the zero-alloc
 // append emission path (core.Engine and pbcast.Node both do).
@@ -44,6 +59,15 @@ type tickAppender interface {
 // messageAppender is the matching receive-side interface.
 type messageAppender interface {
 	HandleMessageAppend(m proto.Message, now uint64, out []proto.Message) []proto.Message
+}
+
+// emissionReuser is the explicit reuse-mode seam (core.Engine and
+// pbcast.Node implement it): the executor — which guarantees every emitted
+// message is consumed before the engine's next tick — opts engines into
+// recycling their per-round emission buffers. The seam mirrors the live
+// node's transport.Serializer opt-in.
+type emissionReuser interface {
+	SetEmissionReuse(on bool)
 }
 
 // tickAppend drives p's emission through the append path when available,
@@ -86,13 +110,43 @@ type routed struct {
 // respSpan records that handling the message at queue position pos
 // appended responses [start, end) to its shard's response buffer.
 type respSpan struct {
-	pos, shard, start, end int
+	pos, start, end int
+}
+
+// workerPool owns the executor's persistent worker channels. It is a
+// separate allocation from the executor so that shutdown can be attached
+// to the Cluster as a GC cleanup: the pool must not reference the cluster,
+// or the cleanup would never fire.
+type workerPool struct {
+	once sync.Once
+	work []chan func(int)
+}
+
+// shutdown closes every worker channel, terminating the workers. Safe to
+// call more than once and concurrently (Cluster.Close plus the cleanup).
+func (p *workerPool) shutdown() {
+	p.once.Do(func() {
+		for _, ch := range p.work {
+			close(ch)
+		}
+	})
+}
+
+// shardWorker runs phase functions for shard s until its work channel
+// closes. Workers deliberately reference only their channel and the wait
+// group — never the executor or cluster — so an abandoned cluster becomes
+// unreachable and its pool cleanup can fire.
+func shardWorker(s int, work <-chan func(int), wg *sync.WaitGroup) {
+	for fn := range work {
+		fn(s)
+		wg.Done()
+	}
 }
 
 // shardedExecutor runs synchronous rounds for a Cluster across worker
-// shards. All scratch buffers are retained between rounds, so the steady
-// state of a large experiment allocates only what the engines themselves
-// emit.
+// shards. All scratch buffers are retained between rounds and the engines
+// run in emission-reuse mode, so the steady state of a large experiment
+// does not allocate.
 type shardedExecutor struct {
 	c       *Cluster
 	workers int
@@ -103,13 +157,21 @@ type shardedExecutor struct {
 	inboxes  [][]routed        // per-shard surviving messages, queue order
 	resps    [][]proto.Message // per-shard response buffers
 	spans    [][]respSpan      // per-shard response spans
-	merged   []respSpan        // cross-shard span merge scratch
+	cursors  []int             // span-merge read positions, one per shard
 	queue    []proto.Message   // current hop's messages
 	next     []proto.Message   // next hop's messages
+
+	pool     *workerPool
+	wg       *sync.WaitGroup // shared with the workers; reused every phase
+	tickFn   func(s int)     // built once: per-phase closures must not allocate
+	handleFn func(s int)
+
+	poison bool // overwrite recycled buffers with sentinels after each round
 }
 
 // newShardedExecutor partitions the cluster's processes into w contiguous
-// shards. Callers guarantee w >= 2 and w <= N.
+// shards and starts the persistent workers. Callers guarantee w >= 2 and
+// w <= N.
 func newShardedExecutor(c *Cluster, w int) *shardedExecutor {
 	e := &shardedExecutor{
 		c:        c,
@@ -121,6 +183,10 @@ func newShardedExecutor(c *Cluster, w int) *shardedExecutor {
 		inboxes:  make([][]routed, w),
 		resps:    make([][]proto.Message, w),
 		spans:    make([][]respSpan, w),
+		cursors:  make([]int, w),
+		pool:     &workerPool{work: make([]chan func(int), w)},
+		wg:       new(sync.WaitGroup),
+		poison:   c.opts.PoisonRecycled,
 	}
 	n := len(c.ids)
 	base, rem := n/w, n%w
@@ -136,37 +202,74 @@ func newShardedExecutor(c *Cluster, w int) *shardedExecutor {
 		}
 		start += size
 	}
+	// Opt the engines into recycling their emission buffers: the round
+	// structure guarantees full consumption before the next tick (see the
+	// file comment), and the reuse paths consume identical RNG draws, so
+	// results stay bit-for-bit equal to the sequential executor.
+	for _, p := range c.procs {
+		if er, ok := p.(emissionReuser); ok {
+			er.SetEmissionReuse(true)
+		}
+	}
+	e.tickFn = e.tickShard
+	e.handleFn = e.handleShard
+	for s := 0; s < w; s++ {
+		ch := make(chan func(int), 1)
+		e.pool.work[s] = ch
+		go shardWorker(s, ch, e.wg)
+	}
+	// Backstop for clusters that are never Closed (the experiment runners
+	// do close): once the cluster is collectable, release the workers.
+	runtime.AddCleanup(c, func(p *workerPool) { p.shutdown() }, e.pool)
 	return e
 }
 
-// parallel runs fn(shard) on every shard concurrently and waits.
+// parallel runs fn(shard) on every worker and waits. fn must be one of the
+// prebuilt phase closures; building a closure here would put an allocation
+// on the per-round path.
 func (e *shardedExecutor) parallel(fn func(s int)) {
-	var wg sync.WaitGroup
-	wg.Add(e.workers)
-	for s := 0; s < e.workers; s++ {
-		go func(s int) {
-			defer wg.Done()
-			fn(s)
-		}(s)
+	e.wg.Add(e.workers)
+	for _, ch := range e.pool.work {
+		ch <- fn
 	}
-	wg.Wait()
+	e.wg.Wait()
+}
+
+// tickShard emits shard s's gossips in process index order.
+func (e *shardedExecutor) tickShard(s int) {
+	c := e.c
+	buf := e.tickBufs[s][:0]
+	for i := e.lo[s]; i < e.hi[s]; i++ {
+		if c.crashes.Crashed(c.ids[i], c.now) {
+			continue
+		}
+		buf = tickAppend(c.procs[i], c.now, buf)
+	}
+	e.tickBufs[s] = buf
+}
+
+// handleShard processes shard s's surviving messages in queue order,
+// recording response spans.
+func (e *shardedExecutor) handleShard(s int) {
+	c := e.c
+	resp := e.resps[s][:0]
+	spans := e.spans[s][:0]
+	for _, r := range e.inboxes[s] {
+		start := len(resp)
+		resp = handleAppend(c.procs[r.di], e.queue[r.pos], c.now, resp)
+		if len(resp) > start {
+			spans = append(spans, respSpan{pos: r.pos, start: start, end: len(resp)})
+		}
+	}
+	e.resps[s] = resp
+	e.spans[s] = spans
 }
 
 // runRound executes one synchronous gossip round. Cluster.RunRound has
 // already advanced c.now.
 func (e *shardedExecutor) runRound() {
-	c := e.c
 	// Tick phase: each shard emits its processes' gossips in index order.
-	e.parallel(func(s int) {
-		buf := e.tickBufs[s][:0]
-		for i := e.lo[s]; i < e.hi[s]; i++ {
-			if c.crashes.Crashed(c.ids[i], c.now) {
-				continue
-			}
-			buf = tickAppend(c.procs[i], c.now, buf)
-		}
-		e.tickBufs[s] = buf
-	})
+	e.parallel(e.tickFn)
 	// Deterministic merge: shard order == process index order, the exact
 	// queue the sequential executor builds.
 	e.queue = e.queue[:0]
@@ -174,6 +277,9 @@ func (e *shardedExecutor) runRound() {
 		e.queue = append(e.queue, e.tickBufs[s]...)
 	}
 	e.dispatch()
+	if e.poison {
+		e.poisonRecycled()
+	}
 }
 
 // dispatch delivers the queued messages, chasing same-round responses up
@@ -203,31 +309,75 @@ func (e *shardedExecutor) dispatch() {
 		}
 		// Handle phase (parallel): each shard processes its own
 		// processes' messages in queue order, recording response spans.
-		e.parallel(func(s int) {
-			resp := e.resps[s][:0]
-			spans := e.spans[s][:0]
-			for _, r := range e.inboxes[s] {
-				start := len(resp)
-				resp = handleAppend(c.procs[r.di], e.queue[r.pos], c.now, resp)
-				if len(resp) > start {
-					spans = append(spans, respSpan{pos: r.pos, shard: s, start: start, end: len(resp)})
-				}
-			}
-			e.resps[s] = resp
-			e.spans[s] = spans
-		})
+		e.parallel(e.handleFn)
 		// Merge phase: reassemble the next hop's queue in the order the
 		// sequential executor would have produced — ascending by the
-		// triggering message's queue position.
-		e.merged = e.merged[:0]
+		// triggering message's queue position. Every shard's span list is
+		// already sorted by pos (inboxes preserve queue order), so a
+		// cursor merge across shards needs neither a sort nor scratch
+		// allocation.
 		for s := 0; s < e.workers; s++ {
-			e.merged = append(e.merged, e.spans[s]...)
+			e.cursors[s] = 0
 		}
-		sort.Slice(e.merged, func(i, j int) bool { return e.merged[i].pos < e.merged[j].pos })
 		e.next = e.next[:0]
-		for _, sp := range e.merged {
-			e.next = append(e.next, e.resps[sp.shard][sp.start:sp.end]...)
+		for {
+			best := -1
+			for s := 0; s < e.workers; s++ {
+				if e.cursors[s] == len(e.spans[s]) {
+					continue
+				}
+				if best < 0 || e.spans[s][e.cursors[s]].pos < e.spans[best][e.cursors[best]].pos {
+					best = s
+				}
+			}
+			if best < 0 {
+				break
+			}
+			sp := e.spans[best][e.cursors[best]]
+			e.cursors[best]++
+			e.next = append(e.next, e.resps[best][sp.start:sp.end]...)
 		}
 		e.queue, e.next = e.next, e.queue
+	}
+}
+
+// poisonSentinel marks poisoned buffer contents: no real process carries
+// the all-ones id, so any late consumer of a recycled buffer surfaces as a
+// loud divergence from the sequential executor instead of a silent
+// heisenbug.
+const poisonSentinel = proto.ProcessID(^uint64(0))
+
+// poisonRecycled overwrites every buffer this round recycled — the shared
+// tick gossips and the executor-owned outbox/response slots — with
+// sentinel values. Correct phases never read them after the round, so
+// poisoned runs must stay bit-for-bit identical to unpoisoned ones; the
+// reuse property tests assert exactly that.
+func (e *shardedExecutor) poisonRecycled() {
+	poisonID := proto.EventID{Origin: poisonSentinel, Seq: ^uint64(0)}
+	for s := 0; s < e.workers; s++ {
+		for i := range e.tickBufs[s] {
+			if g := e.tickBufs[s][i].Gossip; g != nil {
+				g.From = poisonSentinel
+				for j := range g.Subs {
+					g.Subs[j] = poisonSentinel
+				}
+				for j := range g.Unsubs {
+					g.Unsubs[j] = proto.Unsubscription{Process: poisonSentinel, Stamp: ^uint64(0)}
+				}
+				for j := range g.Events {
+					g.Events[j] = proto.Event{ID: poisonID}
+				}
+				for j := range g.Digest {
+					g.Digest[j] = poisonID
+				}
+				for j := range g.DigestWatermarks {
+					g.DigestWatermarks[j] = poisonID
+				}
+			}
+			e.tickBufs[s][i] = proto.Message{From: poisonSentinel, To: poisonSentinel}
+		}
+		for i := range e.resps[s] {
+			e.resps[s][i] = proto.Message{From: poisonSentinel, To: poisonSentinel}
+		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/proto"
 )
 
@@ -105,6 +106,133 @@ func TestParallelMatchesSequentialReliability(t *testing.T) {
 	assertIdentical(t, "reliability", seq, par)
 	if seq.Reliability <= 0 || seq.Events == 0 {
 		t.Errorf("degenerate run: %+v", seq)
+	}
+}
+
+// TestParallelReuseNoUseAfterRecycle is the emission-reuse property test:
+// with PoisonRecycled on, every buffer the executor recycles — the shared
+// tick gossips and the outbox/response slots — is overwritten with
+// sentinels at the end of each round. If any phase (the sequential
+// loss/crash filter, a handle shard, the span merge) held a recycled
+// buffer past its round, the poisoned values would leak into views,
+// deliveries, or retransmission traffic and diverge from the sequential
+// executor. Retransmit mode is included deliberately: its request/reply
+// chase is the longest-lived consumer of round buffers.
+func TestParallelReuseNoUseAfterRecycle(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name string
+		mut  func(*Options)
+	}{
+		{"lpbcast/assume", func(o *Options) { o.Lpbcast.AssumeFromDigest = true }},
+		{"lpbcast/retransmit", func(o *Options) {
+			o.Epsilon = 0.15
+			o.Lpbcast.Retransmit = true
+			o.Lpbcast.ArchiveSize = 500
+		}},
+		{"lpbcast/compact", func(o *Options) {
+			o.Lpbcast.AssumeFromDigest = true
+			o.Lpbcast.DigestMode = core.CompactDigest
+		}},
+		{"pbcast/partial", func(o *Options) { o.Protocol = PbcastPartial }},
+		{"pbcast/total", func(o *Options) { o.Protocol = PbcastTotal }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			opts := DefaultOptions(200)
+			opts.Seed = 77
+			opts.WarmupRounds = 2
+			tc.mut(&opts)
+
+			o := opts
+			o.Workers = 0
+			seq, err := InfectionExperiment(o, 10, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o = opts
+			o.Workers = 4
+			o.PoisonRecycled = true
+			par, err := InfectionExperiment(o, 10, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertIdentical(t, "poisoned reuse", seq, par)
+		})
+	}
+}
+
+// TestParallelReuseWithPoison10k extends the use-after-recycle property to
+// the acceptance scale: a poisoned 10,000-process run through the reuse
+// path must match the sequential executor byte for byte.
+func TestParallelReuseWithPoison10k(t *testing.T) {
+	t.Parallel()
+	opts := DefaultOptions(10_000)
+	opts.Seed = 3
+	opts.Lpbcast.AssumeFromDigest = true
+	o := opts
+	o.Workers = 0
+	seq, err := InfectionExperiment(o, 12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o = opts
+	o.Workers = 4 // explicitly sharded, even on a single-core runner
+	o.PoisonRecycled = true
+	par, err := InfectionExperiment(o, 12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, "poisoned reuse@10k", seq, par)
+}
+
+// TestExecutorRoundAllocs is the acceptance gate for the zero-alloc
+// executor: once a cluster is fully infected and every scratch buffer has
+// reached steady-state capacity, a sharded round — engine emission, the
+// loss filter, the handle fan-out, and the span merge — must not allocate
+// more than twice.
+func TestExecutorRoundAllocs(t *testing.T) {
+	opts := DefaultOptions(1_000)
+	opts.Seed = 9
+	opts.Tau = 0 // a clean steady state: no crash-time variation
+	opts.Lpbcast.AssumeFromDigest = true
+	opts.Workers = 4
+	cluster, err := NewCluster(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if _, err := cluster.PublishAt(0); err != nil {
+		t.Fatal(err)
+	}
+	// Infect everyone and let every scratch buffer, view map, and subs
+	// list reach its high-water capacity: membership churn keeps growing
+	// buffers for a long tail of rounds before the caps stabilize.
+	for r := 0; r < 300; r++ {
+		cluster.RunRound()
+	}
+	allocs := testing.AllocsPerRun(50, func() { cluster.RunRound() })
+	if allocs > 2 {
+		t.Errorf("steady-state sharded round allocates %v times, want <= 2", allocs)
+	}
+}
+
+// TestClusterCloseIdempotent pins the Close contract: closing twice (or
+// closing a sequential cluster) is a no-op.
+func TestClusterCloseIdempotent(t *testing.T) {
+	t.Parallel()
+	for _, workers := range []int{0, 4} {
+		opts := DefaultOptions(64)
+		opts.Workers = workers
+		cluster, err := NewCluster(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cluster.RunRound()
+		cluster.Close()
+		cluster.Close()
 	}
 }
 

@@ -46,6 +46,7 @@ func InfectionExperiment(opts Options, rounds, repeats int) (InfectionResult, er
 		}
 		traced, err := cluster.PublishAt(0)
 		if err != nil {
+			cluster.Close()
 			return InfectionResult{}, err
 		}
 		sum[0] += float64(cluster.DeliveredCount(traced.ID))
@@ -53,6 +54,7 @@ func InfectionExperiment(opts Options, rounds, repeats int) (InfectionResult, er
 			cluster.RunRound()
 			sum[r] += float64(cluster.DeliveredCount(traced.ID))
 		}
+		cluster.Close()
 	}
 	for i := range sum {
 		sum[i] /= float64(repeats)

@@ -33,6 +33,7 @@ func LoadExperiment(opts Options, rate, rounds int) (LoadResult, error) {
 	if err != nil {
 		return LoadResult{}, err
 	}
+	defer cluster.Close()
 	pubRNG := cluster.tickRNG.Split()
 	var perRound []float64
 	prev := uint64(0)

@@ -75,6 +75,7 @@ func ReliabilityExperiment(opts ReliabilityOptions) (ReliabilityResult, error) {
 	if err != nil {
 		return ReliabilityResult{}, err
 	}
+	defer cluster.Close()
 	pubRNG := rng.New(cl.Seed ^ 0x9e3779b97f4a7c15)
 
 	var published []proto.EventID

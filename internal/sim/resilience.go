@@ -40,6 +40,7 @@ func ResilienceExperiment(opts Options, crashFraction float64, crashRound uint64
 	if err != nil {
 		return ResilienceResult{}, err
 	}
+	defer cluster.Close()
 	// Schedule the mass failure.
 	f := int(crashFraction * float64(cluster.N()))
 	crashRNG := cluster.tickRNG.Split()

@@ -117,6 +117,15 @@ type Options struct {
 	// immediate-delivery semantics are inherently serial), so Workers is
 	// ignored there.
 	Workers int
+	// PoisonRecycled is a debug mode of the sharded executor: at the end
+	// of every round the recycled emission buffers (the shared tick
+	// gossips and the executor's outbox/response slots) are overwritten
+	// with sentinel values, so any consumer that still aliases them past
+	// the round diverges loudly from the sequential executor instead of
+	// reading stale data silently. Results must be identical with the
+	// flag on — the reuse property tests assert this. No effect when the
+	// rounds run sequentially.
+	PoisonRecycled bool
 }
 
 // DefaultOptions returns the paper's standard simulation setup for n
@@ -276,6 +285,16 @@ func (c *Cluster) uniformView(i, l int, r *rng.Source) []proto.ProcessID {
 		out = append(out, c.ids[j])
 	}
 	return out
+}
+
+// Close releases the sharded executor's persistent worker goroutines.
+// It is idempotent, and optional: an abandoned cluster's workers are
+// reclaimed by a GC cleanup, but the experiment runners close promptly.
+// RunRound must not be called after Close.
+func (c *Cluster) Close() {
+	if c.par != nil {
+		c.par.pool.shutdown()
+	}
 }
 
 // Process returns the i-th process (0-based).

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/proto"
 	"repro/internal/wire"
@@ -33,7 +34,11 @@ type UDP struct {
 
 	readers sync.WaitGroup
 
-	sent, received, decodeErrs uint64
+	// Stats counters are atomics, not mu-guarded: concurrent SendBatch
+	// calls bump sent once per datagram, and taking the peer-table mutex
+	// for every increment both serialized high-rate senders and stalled
+	// the read loop behind them.
+	sent, received, decodeErrs atomic.Uint64
 }
 
 // NewUDP binds a UDP transport for process id at bindAddr (e.g.
@@ -100,9 +105,7 @@ func (u *UDP) readLoop() {
 		}
 		msgs, err := wire.DecodeBatch(buf[:n], scratch[:0])
 		if err != nil {
-			u.mu.Lock()
-			u.decodeErrs++
-			u.mu.Unlock()
+			u.decodeErrs.Add(1)
 			continue
 		}
 		scratch = msgs
@@ -118,8 +121,8 @@ func (u *UDP) readLoop() {
 				u.peers[m.From] = from
 			}
 		}
-		u.received++
 		u.mu.Unlock()
+		u.received.Add(1)
 		for _, m := range msgs {
 			select {
 			case u.in <- m:
@@ -151,9 +154,7 @@ func (u *UDP) Send(m proto.Message) error {
 	if _, err := u.conn.WriteToUDP(buf, addr); err != nil {
 		return fmt.Errorf("transport: send to %v: %w", m.To, err)
 	}
-	u.mu.Lock()
-	u.sent++
-	u.mu.Unlock()
+	u.sent.Add(1)
 	return nil
 }
 
@@ -264,19 +265,16 @@ func (u *UDP) writeFrames(addr *net.UDPAddr, to proto.ProcessID, frames [][]byte
 		fail(fmt.Errorf("transport: send to %v: %w", to, err))
 		return
 	}
-	u.mu.Lock()
-	u.sent++
-	u.mu.Unlock()
+	u.sent.Add(1)
 }
 
 // Recv implements Transport.
 func (u *UDP) Recv() <-chan proto.Message { return u.in }
 
-// Stats returns datagrams sent, received, and decode failures.
+// Stats returns datagrams sent, received, and decode failures. It is
+// lock-free and safe to poll from any goroutine at any rate.
 func (u *UDP) Stats() (sent, received, decodeErrs uint64) {
-	u.mu.Lock()
-	defer u.mu.Unlock()
-	return u.sent, u.received, u.decodeErrs
+	return u.sent.Load(), u.received.Load(), u.decodeErrs.Load()
 }
 
 // Close implements Transport.

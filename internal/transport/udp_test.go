@@ -2,6 +2,7 @@ package transport
 
 import (
 	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -279,5 +280,67 @@ func TestUDPContainerInterop(t *testing.T) {
 	m2 := recvOne(t, b, 2*time.Second)
 	if m1.Kind != proto.SubscribeMsg || m2.Kind != proto.RetransmitRequestMsg {
 		t.Fatalf("got kinds %v, %v", m1.Kind, m2.Kind)
+	}
+}
+
+// TestUDPStatsConcurrentSendHammer drives Send, SendBatch, and Stats from
+// many goroutines at once. Under -race this proves the stats counters no
+// longer share the peer-table mutex (the old per-datagram lock serialized
+// high-rate senders and stalled the read loop behind them), and the final
+// sent count must equal the exact number of datagrams the schedule
+// produces — no increments lost between concurrent bursts.
+func TestUDPStatsConcurrentSendHammer(t *testing.T) {
+	t.Parallel()
+	a, _ := newUDPPair(t)
+
+	const goroutines = 8
+	const iters = 200
+	stop := make(chan struct{})
+	var pollers sync.WaitGroup
+	pollers.Add(1)
+	go func() { // concurrent Stats reader: must never race or block senders
+		defer pollers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				a.Stats()
+			}
+		}
+	}()
+
+	var senders sync.WaitGroup
+	senders.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer senders.Done()
+			burst := []proto.Message{
+				{Kind: proto.SubscribeMsg, From: 1, To: 2, Subscriber: 1},
+				{Kind: proto.SubscribeMsg, From: 1, To: 2, Subscriber: 1},
+				{Kind: proto.SubscribeMsg, From: 1, To: 2, Subscriber: 1},
+			}
+			for i := 0; i < iters; i++ {
+				// One datagram from Send…
+				if err := a.Send(proto.Message{Kind: proto.SubscribeMsg, From: 1, To: 2, Subscriber: 1}); err != nil {
+					t.Errorf("goroutine %d: Send: %v", g, err)
+					return
+				}
+				// …and one from SendBatch: three tiny same-destination
+				// messages pack into a single container datagram.
+				if err := a.SendBatch(burst); err != nil {
+					t.Errorf("goroutine %d: SendBatch: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	senders.Wait()
+	close(stop)
+	pollers.Wait()
+
+	sent, _, _ := a.Stats()
+	if want := uint64(goroutines * iters * 2); sent != want {
+		t.Errorf("sent = %d datagrams, want exactly %d", sent, want)
 	}
 }

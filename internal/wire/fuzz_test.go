@@ -71,3 +71,72 @@ func FuzzDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeContainer focuses the fuzzer on the version-2 container
+// format: frame-count and frame-length prefixes are the decoder's most
+// dangerous inputs (hostile counts, truncated inner frames, nested
+// containers). The harness mutates whole datagrams seeded with real
+// containers in hostile shapes; the decoder must never panic, anything
+// accepted must round-trip canonically, and a rejected container must not
+// leave partially-decoded messages unreported.
+func FuzzDecodeContainer(f *testing.F) {
+	frame := func(m proto.Message) []byte {
+		buf, err := Encode(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return buf
+	}
+	sub := frame(proto.Message{Kind: proto.SubscribeMsg, From: 1, To: 2, Subscriber: 1})
+	gos := frame(sampleGossip())
+	req := frame(proto.Message{Kind: proto.RetransmitRequestMsg, From: 3, To: 4,
+		Request: []proto.EventID{{Origin: 1, Seq: 2}}})
+
+	pack := func(frames ...[]byte) []byte {
+		buf, err := PackFrames(frames)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return buf
+	}
+	// Well-formed containers of every arity the transport produces.
+	f.Add(pack(sub, gos))
+	f.Add(pack(gos, req, sub))
+	f.Add(pack(sub, sub, sub, sub))
+	// Hostile shapes: a container nested inside a container frame slot, a
+	// lying frame count, truncated length prefixes, and giant counts.
+	f.Add(pack(pack(sub, gos), req))
+	f.Add([]byte{'L', 2, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F})
+	f.Add([]byte{'L', 2, 2, 3, 'L', 1})
+	f.Add(append(pack(sub, gos)[:8], 0xFF))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msgs, err := DecodeBatch(data, nil)
+		if err != nil {
+			return // rejection is fine; panics and hangs are not
+		}
+		// Canonical round-trip through the batch encoder.
+		buf2, err := EncodeBatch(msgs)
+		if err != nil {
+			t.Fatalf("accepted batch does not re-encode: %+v: %v", msgs, err)
+		}
+		msgs2, err := DecodeBatch(buf2, nil)
+		if err != nil {
+			t.Fatalf("re-encoded batch does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(msgs, msgs2) {
+			t.Fatalf("container round-trip not a fixed point:\n1st %+v\n2nd %+v", msgs, msgs2)
+		}
+		// Decoding into a warm scratch slice must agree with the fresh
+		// decode — the UDP read loop reuses its scratch across datagrams.
+		scratch := make([]proto.Message, 0, 8)
+		scratch = append(scratch, proto.Message{Kind: proto.SubscribeMsg, Subscriber: 42})
+		msgs3, err := DecodeBatch(data, scratch[:0])
+		if err != nil {
+			t.Fatalf("scratch decode rejected what fresh decode accepted: %v", err)
+		}
+		if !reflect.DeepEqual(msgs, msgs3) {
+			t.Fatalf("scratch decode diverged:\nfresh   %+v\nscratch %+v", msgs, msgs3)
+		}
+	})
+}
