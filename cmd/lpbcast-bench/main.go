@@ -3,7 +3,8 @@
 // benchmark trajectory artifacts CI gates on.
 //
 // Two suites exist. The executor suite measures the simulator's round
-// executors (sequential reference vs sharded zero-alloc) and a full
+// executors (sequential reference vs sharded zero-alloc, in both the
+// synchronous-round and wavefront-async regimes) and a full
 // production-scale infection experiment; the live suite measures the
 // runtime's transport paths (UDP SendBatch packing over loopback, and an
 // in-process cluster broadcast). Results are written as a JSON array of
@@ -218,12 +219,13 @@ func checkRegression(baselinePath string, fresh []Entry, tolerance float64) ([]s
 // long warmup every view map, subs list, and executor scratch buffer has
 // reached its high-water capacity, so remaining allocations are the
 // protocol's own.
-func steadyCluster(n, workers, warmRounds int) (*sim.Cluster, error) {
+func steadyCluster(n, workers, warmRounds int, async bool) (*sim.Cluster, error) {
 	opts := sim.DefaultOptions(n)
 	opts.Seed = 9
 	opts.Tau = 0
 	opts.Lpbcast.AssumeFromDigest = true
 	opts.Workers = workers
+	opts.Async = async
 	cluster, err := sim.NewCluster(opts)
 	if err != nil {
 		return nil, err
@@ -256,20 +258,24 @@ func executorSuite(quick bool) []benchCase {
 		n, warm = 200, 60
 		infectionN = 500
 	}
-	steady := func(workers int, maxAllocs int64) benchCase {
+	steady := func(workers int, maxAllocs int64, async bool) benchCase {
 		label := "workers=1"
 		if workers != 0 {
 			label = "workers=max"
 		}
+		kind := "steady-round"
+		if async {
+			kind = "steady-async-period"
+		}
 		var cluster *sim.Cluster // built once, reused across b.N scaling runs
 		return benchCase{
-			name:      fmt.Sprintf("executor/steady-round/n=%d/%s", n, label),
+			name:      fmt.Sprintf("executor/%s/n=%d/%s", kind, n, label),
 			gate:      true,
 			maxAllocs: maxAllocs,
 			fn: func(b *testing.B) {
 				if cluster == nil {
 					var err error
-					if cluster, err = steadyCluster(n, workers, warm); err != nil {
+					if cluster, err = steadyCluster(n, workers, warm, async); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -291,11 +297,16 @@ func executorSuite(quick bool) []benchCase {
 	return []benchCase{
 		// The sequential executor is the cloning reference; it is gated
 		// only relative to its own baseline.
-		steady(0, -1),
+		steady(0, -1, false),
 		// The sharded executor runs engines in emission-reuse mode over
 		// retained buffers and persistent workers: the zero-alloc
 		// acceptance criterion, as an absolute ceiling.
-		steady(benchWorkers(), 2),
+		steady(benchWorkers(), 2, false),
+		// The async pair measures the wavefront period executor: the
+		// sequential reference, and the sharded speculative schedule under
+		// the same zero-alloc ceiling as its synchronous sibling.
+		steady(0, -1, true),
+		steady(benchWorkers(), 2, true),
 		{
 			name: fmt.Sprintf("executor/infection/n=%d/workers=max", infectionN),
 			gate: true, maxAllocs: -1,

@@ -191,6 +191,13 @@ type Engine struct {
 	reuseEmission  bool
 	scratchGossip  *proto.Gossip
 	scratchTargets []proto.ProcessID
+
+	// Speculative-emission state (TickCompose/TickAbort/TickCommit): the
+	// membership RNG position at compose time, and the deferred mutations a
+	// commit applies.
+	composeRNG         uint64
+	composedTargets    int
+	composedMembership bool
 }
 
 // New creates an engine for process self. deliver may be nil (deliveries
@@ -572,8 +579,33 @@ func (e *Engine) Tick(now uint64) []proto.Message {
 // does not allocate per emitted message: receivers must treat the gossip
 // as immutable, which every driver in this repository does — engines copy
 // events before retaining them and only read membership piggyback.
+//
+// TickAppend is TickCompose followed immediately by TickCommit; drivers
+// that never speculate use it directly.
 func (e *Engine) TickAppend(now uint64, out []proto.Message) []proto.Message {
-	e.ticks++
+	out = e.TickCompose(now, out)
+	e.TickCommit(now)
+	return out
+}
+
+// TickCompose builds the next periodic gossip emission (Fig. 1(b)) without
+// consuming it: the composed messages are appended to out, but the events
+// buffer is not cleared, the tick counter not advanced, and no obsolete
+// unsubscription is expired — those mutations are deferred to TickCommit.
+// The only engine state a compose touches is the membership RNG (target
+// selection), which TickAbort rewinds, so an aborted compose leaves the
+// engine exactly as it found it.
+//
+// The contract is the speculative schedule of the simulator's wavefront
+// async executor: at most one composed tick may be outstanding, and the
+// engine must not process any other operation between TickCompose and the
+// matching TickCommit or TickAbort. A committed compose is equivalent to a
+// plain TickAppend in both emitted gossip and final engine state.
+func (e *Engine) TickCompose(now uint64, out []proto.Message) []proto.Message {
+	e.composeRNG = e.mem.RNGState()
+	e.composedTargets = 0
+	e.composedMembership = false
+	ticks := e.ticks + 1 // the tick number this emission will commit as
 	var targets []proto.ProcessID
 	var g *proto.Gossip
 	if e.reuseEmission {
@@ -603,9 +635,10 @@ func (e *Engine) TickAppend(now uint64, out []proto.Message) []proto.Message {
 			Digest: e.digestIDs(),
 		}
 	}
-	if k := e.cfg.MembershipEvery; k <= 1 || e.ticks%uint64(k) == 0 {
+	if k := e.cfg.MembershipEvery; k <= 1 || ticks%uint64(k) == 0 {
 		g.Subs = e.mem.AppendSubs(g.Subs)
-		g.Unsubs = e.mem.AppendUnsubs(g.Unsubs, now)
+		g.Unsubs = e.mem.PeekUnsubs(g.Unsubs, now)
+		e.composedMembership = true
 	}
 	if e.cfg.DigestMode == CompactDigest {
 		g.DigestWatermarks = e.appendWatermarks(g.DigestWatermarks)
@@ -618,12 +651,42 @@ func (e *Engine) TickAppend(now uint64, out []proto.Message) []proto.Message {
 			Gossip: g,
 		})
 	}
-	e.stats.GossipsSent += uint64(len(targets))
-	// "events ← ∅" — each notification is gossiped at most once by this
-	// process; older copies live only in the archive.
+	e.composedTargets = len(targets)
+	return out
+}
+
+// TickAbort discards the outstanding composed emission, rewinding the
+// membership RNG to its pre-compose position. The caller must also discard
+// the messages that compose appended.
+func (e *Engine) TickAbort() {
+	e.mem.RestoreRNGState(e.composeRNG)
+	e.composedTargets = 0
+	e.composedMembership = false
+}
+
+// TickCommit applies the deferred mutations of the outstanding composed
+// emission: the tick counter advances and — when the compose actually
+// emitted — the gossip statistics are updated, obsolete unsubscriptions
+// expire, and "events ← ∅" clears the forwarding buffer (each notification
+// is gossiped at most once by this process; older copies live only in the
+// archive).
+func (e *Engine) TickCommit(now uint64) {
+	e.ticks++
+	if e.composedTargets == 0 {
+		// The compose emitted nothing (empty view): the period still
+		// elapsed, but no buffer was consumed — matching TickAppend's
+		// historical early return.
+		e.composedMembership = false
+		return
+	}
+	e.stats.GossipsSent += uint64(e.composedTargets)
+	if e.composedMembership {
+		e.mem.ExpireUnsubs(now)
+		e.composedMembership = false
+	}
 	e.events.Clear()
 	e.eventWeights = nil
-	return out
+	e.composedTargets = 0
 }
 
 // digestIDs returns the identifier digest to attach to an outgoing gossip.

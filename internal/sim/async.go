@@ -1,0 +1,244 @@
+package sim
+
+import "repro/internal/proto"
+
+// This file defines the deterministic wavefront schedule for asynchronous
+// gossip periods (Options.Async) and implements it sequentially; the
+// sharded parallel implementation in executor_async.go executes the exact
+// same schedule across the persistent worker pool, so the two produce
+// bit-for-bit identical results for any worker count — the async
+// counterpart of the synchronous-round equivalence guarantee.
+//
+// # The wavefront schedule
+//
+// An async period models the paper's unsynchronized regime (§3.2,
+// "non-synchronized periodical gossips"): processes tick once per period
+// in a random order, and a process that receives fresh information before
+// its own tick forwards it within the same period. The historical
+// implementation dispatched each tick's messages immediately, which made
+// the period inherently serial. The wavefront schedule keeps the defining
+// property — every delivery that reaches a process before its tick commits
+// is visible to that tick — while exposing parallelism:
+//
+//  1. The period's shuffled tick order is drawn up front (one Shuffle from
+//     the cluster's tick stream, exactly as before).
+//  2. Ticks are composed speculatively: TickCompose builds a tick's
+//     emission without consuming the engine's buffers, for every process
+//     in a bounded lookahead window past the commit frontier. Composes
+//     touch only their own engine, so they run concurrently.
+//  3. A sequential commit walk visits positions in period order. Each
+//     clean position's tick commits (TickCommit) and its messages are
+//     filtered in emission order — the shared loss stream and the network
+//     counters draw in walk order, like the synchronous executor's
+//     sequential filter phase. A surviving delivery addressed to a process
+//     whose tick is composed but not yet committed *invalidates* that
+//     speculation: the tick is aborted (TickAbort rewinds its RNG draws)
+//     and the walk's wave ends when it reaches the first invalidated
+//     position — that tick must be re-executed against the committed
+//     state, which now includes the delivery.
+//  4. At the wave barrier the wave's surviving deliveries are handled —
+//     per-receiver work that the parallel executor fans out across shards
+//     — and same-wave responses are chased hop by hop under the maxChase
+//     cap, filtering each hop in deterministic merge order. Barrier
+//     deliveries to processes beyond the frontier invalidate their
+//     speculations the same way.
+//  5. The next wave re-composes every invalidated or newly windowed tick
+//     and the walk resumes from the frontier, until the period commits all
+//     positions.
+//
+// Wave boundaries, filter order, handle order, and response merge order
+// are all pure functions of the simulation state, never of the worker
+// count or thread timing, so the schedule itself is deterministic; the
+// sequential implementation below simply runs it on one goroutine.
+//
+// Relative to the historical immediate-dispatch semantics, deliveries now
+// land at wave barriers instead of between individual ticks (and a wave's
+// response chase shares one maxChase budget). The regime's character is
+// unchanged — waves are short, so information still travels roughly two
+// hops per period — but seeded async results differ numerically from
+// pre-wavefront versions.
+
+// asyncLookahead bounds how far past the commit frontier ticks are
+// composed speculatively. A small window wastes less speculation (fewer
+// composed ticks get invalidated by deliveries) but costs more waves per
+// period; n/8 with a floor of 64 keeps both overheads low. The window is a
+// function of the cluster size only — never of the worker count — because
+// wave boundaries are part of the deterministic schedule.
+func asyncLookahead(n int) int {
+	if l := n / 8; l > 64 {
+		return l
+	}
+	return 64
+}
+
+// tickComposer is the speculative-emission seam of the wavefront schedule
+// (core.Engine and pbcast.Node both implement it): TickCompose builds an
+// emission without consuming it, TickAbort discards it rewinding the RNG
+// draws, and TickCommit applies the deferred buffer consumption.
+type tickComposer interface {
+	TickCompose(now uint64, out []proto.Message) []proto.Message
+	TickAbort()
+	TickCommit(now uint64)
+}
+
+// composeTick drives p's speculative emission, falling back to a plain
+// (state-mutating) tick for foreign Process implementations. The fallback
+// cannot roll back: an invalidated fallback compose is simply discarded
+// and composed again, advancing the foreign process's state twice. Both
+// executors share the helper, so even the fallback schedule is identical
+// between them.
+func composeTick(p Process, now uint64, out []proto.Message) []proto.Message {
+	if tc, ok := p.(tickComposer); ok {
+		return tc.TickCompose(now, out)
+	}
+	return append(out, p.Tick(now)...)
+}
+
+// abortTick invalidates p's outstanding speculative emission.
+func abortTick(p Process) {
+	if tc, ok := p.(tickComposer); ok {
+		tc.TickAbort()
+	}
+}
+
+// commitTick commits p's outstanding speculative emission.
+func commitTick(p Process, now uint64) {
+	if tc, ok := p.(tickComposer); ok {
+		tc.TickCommit(now)
+	}
+}
+
+// asyncSeq is the retained scratch state of the sequential wavefront
+// executor; every buffer is reused across periods.
+//
+// composed[i] tracks whether process i has a valid speculative emission
+// outstanding. A commit consumes the emission, so it clears the flag
+// too: a position the walk has passed can never look composed again
+// (the window never moves backwards), which is exactly what the
+// invalidation check relies on.
+type asyncSeq struct {
+	order    []int             // position -> process index
+	composed []bool            // per process: valid speculative emission outstanding
+	emit     [][]proto.Message // per process: the composed emission
+	queue    []proto.Message   // current hop's surviving deliveries
+	dests    []int             // their destination process indices
+	raw      []proto.Message   // responses collected by the current handle pass
+}
+
+func newAsyncSeq(n int) *asyncSeq {
+	return &asyncSeq{
+		order:    make([]int, n),
+		composed: make([]bool, n),
+		emit:     make([][]proto.Message, n),
+	}
+}
+
+// runAsyncPeriodSeq advances one asynchronous gossip period through the
+// wavefront schedule on a single goroutine. Cluster.RunRound has already
+// advanced c.now.
+func (c *Cluster) runAsyncPeriodSeq() {
+	n := len(c.procs)
+	a := c.seqAsync
+	if a == nil {
+		a = newAsyncSeq(n)
+		c.seqAsync = a
+	}
+	for i := range a.order {
+		a.order[i] = i
+	}
+	c.tickRNG.Shuffle(n, func(i, j int) { a.order[i], a.order[j] = a.order[j], a.order[i] })
+	for i := 0; i < n; i++ {
+		a.composed[i] = false
+	}
+	lookahead := asyncLookahead(n)
+
+	front := 0
+	for front < n {
+		windowEnd := front + lookahead
+		if windowEnd > n {
+			windowEnd = n
+		}
+		// Compose phase: (re)compose every windowed tick without a valid
+		// speculation. This is the phase the parallel executor shards.
+		for k := front; k < windowEnd; k++ {
+			i := a.order[k]
+			if a.composed[i] || c.crashes.Crashed(c.ids[i], c.now) {
+				continue
+			}
+			a.emit[i] = composeTick(c.procs[i], c.now, a.emit[i][:0])
+			a.composed[i] = true
+		}
+		// Commit walk: commit clean positions in period order, filtering
+		// their messages as they commit; stop at the first invalidated
+		// speculation (it re-executes against committed state next wave).
+		a.queue, a.dests = a.queue[:0], a.dests[:0]
+		waveEnd := windowEnd
+		for k := front; k < windowEnd; k++ {
+			i := a.order[k]
+			if c.crashes.Crashed(c.ids[i], c.now) {
+				continue // a crashed position commits trivially
+			}
+			if !a.composed[i] {
+				waveEnd = k
+				break
+			}
+			commitTick(c.procs[i], c.now)
+			a.composed[i] = false // consumed: no emission outstanding
+			for _, m := range a.emit[i] {
+				c.asyncFilterSeq(a, m)
+			}
+		}
+		// Wave barrier: handle the wave's deliveries and chase responses.
+		c.asyncBarrierSeq(a)
+		front = waveEnd
+	}
+}
+
+// asyncFilterSeq runs one message through crash/loss filtering and the
+// network counters (classify), appending survivors to the wave queue and
+// invalidating the destination's speculative tick when one is
+// outstanding. Filter calls happen in deterministic walk/merge order, so
+// the shared loss stream's draw order is schedule-defined, exactly like
+// the synchronous executor's sequential filter phase.
+func (c *Cluster) asyncFilterSeq(a *asyncSeq, m proto.Message) {
+	di, ok := c.classify(m)
+	if !ok {
+		return
+	}
+	if a.composed[di] {
+		// The destination's tick is composed but not committed: the
+		// speculation missed this delivery, so it re-executes.
+		abortTick(c.procs[di])
+		a.composed[di] = false
+	}
+	a.queue = append(a.queue, m)
+	a.dests = append(a.dests, di)
+}
+
+// asyncBarrierSeq handles the wave's surviving deliveries in queue order
+// and chases same-wave responses hop by hop: each hop's responses are
+// filtered in trigger order (asyncFilterSeq) and handled in turn, up to
+// the shared maxChase cap; responses still raw when the cap hits are
+// counted as truncated, mirroring dispatch.
+func (c *Cluster) asyncBarrierSeq(a *asyncSeq) {
+	for hop := 0; ; hop++ {
+		a.raw = a.raw[:0]
+		for x := range a.queue {
+			a.raw = handleAppend(c.procs[a.dests[x]], a.queue[x], c.now, a.raw)
+		}
+		if len(a.raw) == 0 {
+			return
+		}
+		if hop+1 >= maxChase {
+			c.net.TruncatedChase += uint64(len(a.raw))
+			return
+		}
+		a.queue, a.dests = a.queue[:0], a.dests[:0]
+		for _, m := range a.raw {
+			c.asyncFilterSeq(a, m)
+		}
+		if len(a.queue) == 0 {
+			return
+		}
+	}
+}

@@ -161,10 +161,20 @@ type shardedExecutor struct {
 	queue    []proto.Message   // current hop's messages
 	next     []proto.Message   // next hop's messages
 
-	pool     *workerPool
-	wg       *sync.WaitGroup // shared with the workers; reused every phase
-	tickFn   func(s int)     // built once: per-phase closures must not allocate
-	handleFn func(s int)
+	pool      *workerPool
+	wg        *sync.WaitGroup // shared with the workers; reused every phase
+	tickFn    func(s int)     // built once: per-phase closures must not allocate
+	handleFn  func(s int)
+	composeFn func(s int)
+
+	// Wavefront async state (executor_async.go); allocated when the
+	// cluster runs async periods. aComposed[i] tracks an outstanding
+	// valid speculative emission — cleared when a commit consumes it.
+	aOrder        []int             // position -> process index
+	aComposed     []bool            // per process: valid speculative emission outstanding
+	aEmit         [][]proto.Message // per process: the composed emission
+	waveFront     int               // compose-phase window bounds, set before each
+	waveWindowEnd int               // parallel compose phase
 
 	poison bool // overwrite recycled buffers with sentinels after each round
 }
@@ -213,6 +223,12 @@ func newShardedExecutor(c *Cluster, w int) *shardedExecutor {
 	}
 	e.tickFn = e.tickShard
 	e.handleFn = e.handleShard
+	e.composeFn = e.composeShard
+	if c.opts.Async {
+		e.aOrder = make([]int, n)
+		e.aComposed = make([]bool, n)
+		e.aEmit = make([][]proto.Message, n)
+	}
 	for s := 0; s < w; s++ {
 		ch := make(chan func(int), 1)
 		e.pool.work[s] = ch
@@ -293,51 +309,49 @@ func (e *shardedExecutor) dispatch() {
 			e.inboxes[s] = e.inboxes[s][:0]
 		}
 		for pos, m := range e.queue {
-			c.net.Sent++
-			di, ok := c.index[m.To]
-			if !ok || c.crashes.Crashed(m.To, c.now) {
-				c.net.ToCrashed++
+			di, ok := c.classify(m)
+			if !ok {
 				continue
 			}
-			if c.loss.Drop(m.From, m.To, c.now) {
-				c.net.Dropped++
-				continue
-			}
-			c.net.Delivered++
 			s := e.shardOf[di]
 			e.inboxes[s] = append(e.inboxes[s], routed{pos: pos, di: di})
 		}
 		// Handle phase (parallel): each shard processes its own
 		// processes' messages in queue order, recording response spans.
 		e.parallel(e.handleFn)
-		// Merge phase: reassemble the next hop's queue in the order the
-		// sequential executor would have produced — ascending by the
-		// triggering message's queue position. Every shard's span list is
-		// already sorted by pos (inboxes preserve queue order), so a
-		// cursor merge across shards needs neither a sort nor scratch
-		// allocation.
-		for s := 0; s < e.workers; s++ {
-			e.cursors[s] = 0
-		}
-		e.next = e.next[:0]
-		for {
-			best := -1
-			for s := 0; s < e.workers; s++ {
-				if e.cursors[s] == len(e.spans[s]) {
-					continue
-				}
-				if best < 0 || e.spans[s][e.cursors[s]].pos < e.spans[best][e.cursors[best]].pos {
-					best = s
-				}
-			}
-			if best < 0 {
-				break
-			}
-			sp := e.spans[best][e.cursors[best]]
-			e.cursors[best]++
-			e.next = append(e.next, e.resps[best][sp.start:sp.end]...)
-		}
+		e.mergeResponses()
 		e.queue, e.next = e.next, e.queue
+	}
+	// Mirror the sequential executor's accounting for a cut-off chase.
+	c.net.TruncatedChase += uint64(len(e.queue))
+}
+
+// mergeResponses reassembles the next hop's queue into e.next, in the
+// order the sequential executor would have produced — ascending by the
+// triggering message's queue position. Every shard's span list is already
+// sorted by pos (inboxes preserve queue order), so a cursor merge across
+// shards needs neither a sort nor scratch allocation.
+func (e *shardedExecutor) mergeResponses() {
+	for s := 0; s < e.workers; s++ {
+		e.cursors[s] = 0
+	}
+	e.next = e.next[:0]
+	for {
+		best := -1
+		for s := 0; s < e.workers; s++ {
+			if e.cursors[s] == len(e.spans[s]) {
+				continue
+			}
+			if best < 0 || e.spans[s][e.cursors[s]].pos < e.spans[best][e.cursors[best]].pos {
+				best = s
+			}
+		}
+		if best < 0 {
+			break
+		}
+		sp := e.spans[best][e.cursors[best]]
+		e.cursors[best]++
+		e.next = append(e.next, e.resps[best][sp.start:sp.end]...)
 	}
 }
 
@@ -347,37 +361,41 @@ func (e *shardedExecutor) dispatch() {
 // heisenbug.
 const poisonSentinel = proto.ProcessID(^uint64(0))
 
+// poisonMessages overwrites the message slots — and, through their shared
+// pointers, the gossip contents — of a recycled buffer with sentinels.
+func poisonMessages(msgs []proto.Message) {
+	poisonID := proto.EventID{Origin: poisonSentinel, Seq: ^uint64(0)}
+	for i := range msgs {
+		if g := msgs[i].Gossip; g != nil {
+			g.From = poisonSentinel
+			for j := range g.Subs {
+				g.Subs[j] = poisonSentinel
+			}
+			for j := range g.Unsubs {
+				g.Unsubs[j] = proto.Unsubscription{Process: poisonSentinel, Stamp: ^uint64(0)}
+			}
+			for j := range g.Events {
+				g.Events[j] = proto.Event{ID: poisonID}
+			}
+			for j := range g.Digest {
+				g.Digest[j] = poisonID
+			}
+			for j := range g.DigestWatermarks {
+				g.DigestWatermarks[j] = poisonID
+			}
+		}
+		msgs[i] = proto.Message{From: poisonSentinel, To: poisonSentinel}
+	}
+}
+
 // poisonRecycled overwrites every buffer this round recycled — the shared
 // tick gossips and the executor-owned outbox/response slots — with
 // sentinel values. Correct phases never read them after the round, so
 // poisoned runs must stay bit-for-bit identical to unpoisoned ones; the
 // reuse property tests assert exactly that.
 func (e *shardedExecutor) poisonRecycled() {
-	poisonID := proto.EventID{Origin: poisonSentinel, Seq: ^uint64(0)}
 	for s := 0; s < e.workers; s++ {
-		for i := range e.tickBufs[s] {
-			if g := e.tickBufs[s][i].Gossip; g != nil {
-				g.From = poisonSentinel
-				for j := range g.Subs {
-					g.Subs[j] = poisonSentinel
-				}
-				for j := range g.Unsubs {
-					g.Unsubs[j] = proto.Unsubscription{Process: poisonSentinel, Stamp: ^uint64(0)}
-				}
-				for j := range g.Events {
-					g.Events[j] = proto.Event{ID: poisonID}
-				}
-				for j := range g.Digest {
-					g.Digest[j] = poisonID
-				}
-				for j := range g.DigestWatermarks {
-					g.DigestWatermarks[j] = poisonID
-				}
-			}
-			e.tickBufs[s][i] = proto.Message{From: poisonSentinel, To: poisonSentinel}
-		}
-		for i := range e.resps[s] {
-			e.resps[s][i] = proto.Message{From: poisonSentinel, To: poisonSentinel}
-		}
+		poisonMessages(e.tickBufs[s])
+		poisonMessages(e.resps[s])
 	}
 }

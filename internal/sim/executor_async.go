@@ -1,0 +1,169 @@
+package sim
+
+import "repro/internal/proto"
+
+// This file is the sharded implementation of the wavefront schedule for
+// asynchronous gossip periods defined in async.go. The schedule itself —
+// wave boundaries, filter order, handle order, response merges — is a pure
+// function of the simulation state, so this executor only changes *where*
+// the work runs: tick composition fans out across the persistent worker
+// pool (each shard composes its own processes' ticks speculatively), the
+// commit walk stays sequential like the synchronous executor's loss/crash
+// filter phase, and barrier deliveries reuse the sharded handle fan-out
+// and cursor response merge of the synchronous rounds. Results are
+// bit-for-bit identical to the sequential wavefront executor for any
+// worker count.
+//
+// Steady-state allocation mirrors the synchronous argument: engines run in
+// emission reuse (an aborted compose rewrites the same scratch on
+// re-execution, and a committed emission is fully consumed by its wave's
+// barrier — before the engine's next compose, which happens no earlier
+// than the next period), the per-process emission buffers and the
+// queue/inbox/response machinery are retained across periods, and all
+// phase closures are prebuilt, so a steady async period does not allocate
+// (see TestAsyncRoundAllocs). PoisonRecycled overwrites the recycled
+// emission and response buffers at the end of every period.
+
+// composeShard speculatively composes the ticks of shard s's processes
+// inside the current wave window. Composes touch only their own engine
+// (plus per-process executor slots), so shards race on nothing; the
+// window bounds are published before the phase starts.
+func (e *shardedExecutor) composeShard(s int) {
+	c := e.c
+	for k := e.waveFront; k < e.waveWindowEnd; k++ {
+		i := e.aOrder[k]
+		if e.shardOf[i] != s || e.aComposed[i] {
+			continue
+		}
+		if c.crashes.Crashed(c.ids[i], c.now) {
+			continue
+		}
+		e.aEmit[i] = composeTick(c.procs[i], c.now, e.aEmit[i][:0])
+		e.aComposed[i] = true
+	}
+}
+
+// runAsyncPeriod executes one asynchronous gossip period under the
+// wavefront schedule. Cluster.RunRound has already advanced c.now.
+func (e *shardedExecutor) runAsyncPeriod() {
+	c := e.c
+	n := len(c.procs)
+	for i := range e.aOrder {
+		e.aOrder[i] = i
+	}
+	c.tickRNG.Shuffle(n, func(i, j int) { e.aOrder[i], e.aOrder[j] = e.aOrder[j], e.aOrder[i] })
+	for i := 0; i < n; i++ {
+		e.aComposed[i] = false
+	}
+	lookahead := asyncLookahead(n)
+
+	front := 0
+	for front < n {
+		windowEnd := front + lookahead
+		if windowEnd > n {
+			windowEnd = n
+		}
+		// Compose phase (parallel): (re)compose every windowed tick
+		// without a valid speculation, sharded by process ownership.
+		e.waveFront, e.waveWindowEnd = front, windowEnd
+		e.parallel(e.composeFn)
+		// Commit walk (sequential): commit clean positions in period
+		// order, filtering their messages as they commit — the shared
+		// loss stream draws in walk order — and stop at the first
+		// invalidated speculation.
+		e.queue = e.queue[:0]
+		for s := 0; s < e.workers; s++ {
+			e.inboxes[s] = e.inboxes[s][:0]
+		}
+		waveEnd := windowEnd
+		for k := front; k < windowEnd; k++ {
+			i := e.aOrder[k]
+			if c.crashes.Crashed(c.ids[i], c.now) {
+				continue // a crashed position commits trivially
+			}
+			if !e.aComposed[i] {
+				waveEnd = k
+				break
+			}
+			commitTick(c.procs[i], c.now)
+			e.aComposed[i] = false // consumed: no emission outstanding
+			for _, m := range e.aEmit[i] {
+				pos := len(e.queue)
+				e.queue = append(e.queue, m)
+				e.asyncRoute(pos, m)
+			}
+		}
+		// Wave barrier: sharded handle fan-out plus response chase.
+		e.asyncBarrier()
+		front = waveEnd
+	}
+	if e.poison {
+		e.poisonAsyncRecycled()
+	}
+}
+
+// asyncRoute runs the message at queue position pos through crash/loss
+// filtering and the network counters (classify), binning survivors into
+// the destination shard's inbox and invalidating the destination's
+// speculative tick when one is outstanding. The counter and draw
+// sequence matches asyncFilterSeq exactly — both are thin wrappers over
+// the shared classifier.
+func (e *shardedExecutor) asyncRoute(pos int, m proto.Message) {
+	c := e.c
+	di, ok := c.classify(m)
+	if !ok {
+		return
+	}
+	if e.aComposed[di] {
+		// The destination's tick is composed but not committed: the
+		// speculation missed this delivery, so it re-executes.
+		abortTick(c.procs[di])
+		e.aComposed[di] = false
+	}
+	s := e.shardOf[di]
+	e.inboxes[s] = append(e.inboxes[s], routed{pos: pos, di: di})
+}
+
+// asyncBarrier handles the wave's surviving deliveries — each shard
+// processes its own processes' messages in queue order — and chases
+// same-wave responses hop by hop under the shared maxChase cap: responses
+// are reassembled in trigger order by the cursor merge, filtered
+// sequentially (consuming loss draws in merge order and invalidating
+// speculations), and handled in turn. Responses still raw when the cap
+// hits are counted as truncated, mirroring dispatch.
+func (e *shardedExecutor) asyncBarrier() {
+	c := e.c
+	for hop := 0; ; hop++ {
+		e.parallel(e.handleFn)
+		e.mergeResponses()
+		if len(e.next) == 0 {
+			return
+		}
+		if hop+1 >= maxChase {
+			c.net.TruncatedChase += uint64(len(e.next))
+			return
+		}
+		e.queue, e.next = e.next, e.queue
+		for s := 0; s < e.workers; s++ {
+			e.inboxes[s] = e.inboxes[s][:0]
+		}
+		for pos := range e.queue {
+			e.asyncRoute(pos, e.queue[pos])
+		}
+	}
+}
+
+// poisonAsyncRecycled overwrites every buffer the period recycled — the
+// per-process composed emissions (and, through them, the shared scratch
+// gossips) plus the executor-owned queue and response slots — with
+// sentinels, the async sibling of poisonRecycled.
+func (e *shardedExecutor) poisonAsyncRecycled() {
+	for i := range e.aEmit {
+		poisonMessages(e.aEmit[i])
+	}
+	for s := 0; s < e.workers; s++ {
+		poisonMessages(e.resps[s])
+	}
+	poisonMessages(e.queue)
+	poisonMessages(e.next)
+}

@@ -1,0 +1,254 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// asyncOpts returns the standard async test setup.
+func asyncOpts(n int, seed uint64) Options {
+	opts := DefaultOptions(n)
+	opts.Seed = seed
+	opts.Async = true
+	opts.Lpbcast.AssumeFromDigest = true
+	return opts
+}
+
+// TestParallelAsyncMatchesSequentialInfection is the wavefront tentpole's
+// correctness oracle: for several seeds and all three protocols, the
+// sharded async executor must reproduce the sequential wavefront
+// executor's infection traces exactly.
+func TestParallelAsyncMatchesSequentialInfection(t *testing.T) {
+	t.Parallel()
+	for _, protocol := range []Protocol{Lpbcast, PbcastPartial, PbcastTotal} {
+		for _, seed := range []uint64{1, 7, 42} {
+			protocol, seed := protocol, seed
+			t.Run(fmt.Sprintf("%s/seed=%d", protocol, seed), func(t *testing.T) {
+				t.Parallel()
+				opts := asyncOpts(250, seed)
+				opts.Protocol = protocol
+				opts.WarmupRounds = 2
+				seq, par := runBoth(t, opts, 8, 2, 4)
+				assertIdentical(t, "async infection", seq, par)
+			})
+		}
+	}
+}
+
+// TestParallelAsyncMatchesSequential10k is the scale acceptance criterion:
+// a 10,000-process async experiment through the parallel executor is
+// byte-identical to the sequential wavefront executor, for an explicit
+// shard count and for GOMAXPROCS.
+func TestParallelAsyncMatchesSequential10k(t *testing.T) {
+	t.Parallel()
+	opts := asyncOpts(10_000, 3)
+	o := opts
+	o.Workers = 0
+	seq, err := InfectionExperiment(o, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+		o = opts
+		o.Workers = w
+		par, err := InfectionExperiment(o, 8, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertIdentical(t, fmt.Sprintf("async infection@10k/workers=%d", w), seq, par)
+	}
+	// The run must actually disseminate; otherwise equality is vacuous.
+	// Async covers ≈2 hops per period, so 8 periods saturate 10,000.
+	if last := seq.PerRound[len(seq.PerRound)-1]; last < 9_500 {
+		t.Errorf("only %v of 10000 infected; dissemination failed", last)
+	}
+}
+
+// TestParallelAsyncMatchesSequentialReliability checks the async regime's
+// primary experiment type end to end, including the network counters.
+func TestParallelAsyncMatchesSequentialReliability(t *testing.T) {
+	t.Parallel()
+	base := DefaultReliabilityOptions(125)
+	base.Cluster.Seed = 11
+	base.PublishRounds = 8
+	base.DrainRounds = 8
+
+	seqOpts := base
+	seqOpts.Cluster.Workers = 0
+	seq, err := ReliabilityExperiment(seqOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parOpts := base
+	parOpts.Cluster.Workers = 4
+	par, err := ReliabilityExperiment(parOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, "async reliability", seq, par)
+	if seq.Reliability <= 0 || seq.Events == 0 {
+		t.Errorf("degenerate run: %+v", seq)
+	}
+}
+
+// TestParallelAsyncWorkerCountInvariance: the wavefront schedule is a pure
+// function of the simulation state, so results are independent of the
+// shard count, not just of sequential-vs-parallel.
+func TestParallelAsyncWorkerCountInvariance(t *testing.T) {
+	t.Parallel()
+	opts := asyncOpts(200, 99)
+	var results []InfectionResult
+	for _, w := range []int{0, 2, 3, 8, 200} {
+		o := opts
+		o.Workers = w
+		res, err := InfectionExperiment(o, 8, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res)
+	}
+	for i := 1; i < len(results); i++ {
+		assertIdentical(t, fmt.Sprintf("async workers variant %d", i), results[0], results[i])
+	}
+}
+
+// TestParallelAsyncReuseNoUseAfterRecycle is the async emission-reuse
+// property test: with PoisonRecycled on, every buffer the period recycles
+// — the per-process composed emissions, their shared scratch gossips, and
+// the queue/response slots — is overwritten with sentinels at the end of
+// each period, so any consumer holding one too long diverges loudly from
+// the sequential executor. Retransmit mode exercises the longest-lived
+// buffers (the wave barrier's request/reply chase); the pbcast protocols
+// exercise the solicitation path and the deferred-reply flush.
+func TestParallelAsyncReuseNoUseAfterRecycle(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name string
+		mut  func(*Options)
+	}{
+		{"lpbcast/assume", func(o *Options) { o.Lpbcast.AssumeFromDigest = true }},
+		{"lpbcast/retransmit", func(o *Options) {
+			o.Lpbcast.AssumeFromDigest = false
+			o.Epsilon = 0.15
+			o.Lpbcast.Retransmit = true
+			o.Lpbcast.ArchiveSize = 500
+		}},
+		{"lpbcast/compact", func(o *Options) {
+			o.Lpbcast.AssumeFromDigest = true
+			o.Lpbcast.DigestMode = core.CompactDigest
+		}},
+		{"pbcast/partial", func(o *Options) { o.Protocol = PbcastPartial }},
+		{"pbcast/total", func(o *Options) { o.Protocol = PbcastTotal }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			opts := asyncOpts(200, 77)
+			opts.WarmupRounds = 2
+			tc.mut(&opts)
+
+			o := opts
+			o.Workers = 0
+			seq, err := InfectionExperiment(o, 10, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o = opts
+			o.Workers = 4
+			o.PoisonRecycled = true
+			par, err := InfectionExperiment(o, 10, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertIdentical(t, "async poisoned reuse", seq, par)
+		})
+	}
+}
+
+// TestParallelAsyncReuseWithPoison10k extends the async use-after-recycle
+// property to the acceptance scale.
+func TestParallelAsyncReuseWithPoison10k(t *testing.T) {
+	t.Parallel()
+	opts := asyncOpts(10_000, 3)
+	o := opts
+	o.Workers = 0
+	seq, err := InfectionExperiment(o, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o = opts
+	o.Workers = 4 // explicitly sharded, even on a single-core runner
+	o.PoisonRecycled = true
+	par, err := InfectionExperiment(o, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, "async poisoned reuse@10k", seq, par)
+}
+
+// TestAsyncRoundAllocs is the async acceptance gate: once a cluster is
+// fully infected and every scratch buffer has reached steady-state
+// capacity, a sharded async period — speculative composes, the commit
+// walk, the barrier handle fan-outs, and the response merges — must not
+// allocate more than twice.
+func TestAsyncRoundAllocs(t *testing.T) {
+	opts := asyncOpts(1_000, 9)
+	opts.Tau = 0 // a clean steady state: no crash-time variation
+	opts.Workers = 4
+	cluster, err := NewCluster(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if _, err := cluster.PublishAt(0); err != nil {
+		t.Fatal(err)
+	}
+	// Infect everyone and let every emission buffer, view, and executor
+	// slot reach its high-water capacity; speculation re-executions keep
+	// growing per-process buffers for a long tail of periods.
+	for r := 0; r < 300; r++ {
+		cluster.RunRound()
+	}
+	allocs := testing.AllocsPerRun(50, func() { cluster.RunRound() })
+	if allocs > 2 {
+		t.Errorf("steady-state async period allocates %v times, want <= 2", allocs)
+	}
+}
+
+// TestAsyncForwardsWithinPeriod pins the regime's defining property under
+// the wavefront schedule: a delivery that lands before a process's tick
+// commits is forwarded by that tick in the same period, so one async
+// period spreads an event strictly further than one synchronous round
+// (where information travels exactly one hop). This is the wavefront
+// analog of the speculation story: those receivers' ticks were
+// re-executed against the committed state that includes the event.
+func TestAsyncForwardsWithinPeriod(t *testing.T) {
+	t.Parallel()
+	spread := func(async bool) float64 {
+		total := 0.0
+		for rep := 0; rep < 5; rep++ {
+			o := DefaultOptions(300)
+			o.Seed = 31 + uint64(rep)
+			o.Async = async
+			o.Workers = 4
+			o.Lpbcast.AssumeFromDigest = true
+			c, err := NewCluster(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ev := c.Process(0).(*core.Engine).Publish(nil)
+			c.RunRound()
+			total += float64(c.DeliveredCount(ev.ID))
+			c.Close()
+		}
+		return total / 5
+	}
+	sync, async := spread(false), spread(true)
+	if async <= sync {
+		t.Errorf("async spread %v not ahead of sync %v after one period", async, sync)
+	}
+}

@@ -81,8 +81,8 @@ func TestParallelMatchesSequential10k(t *testing.T) {
 }
 
 // TestParallelMatchesSequentialReliability checks the second experiment
-// type end to end, including network counters, in synchronous mode (Async
-// reliability always runs sequentially by design).
+// type end to end, including network counters, in synchronous mode (the
+// async regime has its own suite in executor_async_test.go).
 func TestParallelMatchesSequentialReliability(t *testing.T) {
 	t.Parallel()
 	base := DefaultReliabilityOptions(125)
@@ -338,23 +338,4 @@ func TestEffectiveWorkers(t *testing.T) {
 	if got := effectiveWorkers(-1, 1<<20); got != runtime.GOMAXPROCS(0) {
 		t.Errorf("effectiveWorkers(-1) = %d, want GOMAXPROCS", got)
 	}
-}
-
-// TestAsyncIgnoresWorkers: Async mode must run its serial immediate-
-// delivery semantics regardless of Workers, and stay deterministic.
-func TestAsyncIgnoresWorkers(t *testing.T) {
-	t.Parallel()
-	opts := DefaultReliabilityOptions(80)
-	opts.PublishRounds = 5
-	opts.DrainRounds = 5
-	seq, err := ReliabilityExperiment(opts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	opts.Cluster.Workers = 8
-	par, err := ReliabilityExperiment(opts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	assertIdentical(t, "async", seq, par)
 }

@@ -101,30 +101,32 @@ type Options struct {
 	RingSeed bool
 	// Async selects unsynchronized gossip periods, the regime of the
 	// paper's real measurements (§3.2: "non-synchronized periodical
-	// gossips"). Processes tick in a random order within each period and
-	// messages are delivered immediately, so a receiver that has not yet
-	// gossiped this period forwards fresh information in the same period
-	// (≈2 hops per period on average, vs exactly 1 in synchronous mode).
-	// Synchronous mode (false) matches the paper's §5.1 simulations and
-	// the Markov analysis.
+	// gossips"). Processes tick once per period in a random order, and a
+	// process that receives fresh information before its own tick forwards
+	// it within the same period (≈2 hops per period on average, vs exactly
+	// 1 in synchronous mode). Periods follow the deterministic wavefront
+	// schedule documented in async.go. Synchronous mode (false) matches
+	// the paper's §5.1 simulations and the Markov analysis.
 	Async bool
-	// Workers selects the round executor: 0 or 1 runs rounds sequentially
-	// (the historical behavior); W > 1 runs the synchronous Tick and
-	// HandleMessage phases of each round on W sharded workers with a
-	// deterministic merge, producing results bit-for-bit identical to the
-	// sequential executor for the same seed. A negative value selects
-	// GOMAXPROCS workers. Async mode always executes sequentially (its
-	// immediate-delivery semantics are inherently serial), so Workers is
-	// ignored there.
+	// Workers selects the executor: 0 or 1 runs rounds (or async periods)
+	// sequentially — the reference implementations; W > 1 runs them on W
+	// sharded workers with deterministic merges, producing results
+	// bit-for-bit identical to the sequential executor for the same seed.
+	// In synchronous mode the Tick and HandleMessage phases of each round
+	// fan out; in Async mode ticks are composed speculatively and
+	// deliveries handled in parallel under the wavefront schedule
+	// (async.go), an explicit, supported combination since the carve-out
+	// that ignored Workers for Async was removed. A negative value selects
+	// GOMAXPROCS workers.
 	Workers int
 	// PoisonRecycled is a debug mode of the sharded executor: at the end
-	// of every round the recycled emission buffers (the shared tick
-	// gossips and the executor's outbox/response slots) are overwritten
-	// with sentinel values, so any consumer that still aliases them past
-	// the round diverges loudly from the sequential executor instead of
-	// reading stale data silently. Results must be identical with the
-	// flag on — the reuse property tests assert this. No effect when the
-	// rounds run sequentially.
+	// of every round (or async period) the recycled emission buffers (the
+	// shared tick gossips and the executor's outbox/response slots) are
+	// overwritten with sentinel values, so any consumer that still aliases
+	// them past the round diverges loudly from the sequential executor
+	// instead of reading stale data silently. Results must be identical
+	// with the flag on — the reuse property tests assert this. No effect
+	// when the rounds run sequentially.
 	PoisonRecycled bool
 }
 
@@ -152,6 +154,12 @@ func (o Options) Validate() error {
 	if o.Tau < 0 || o.Tau >= 1 {
 		return fmt.Errorf("sim: tau %v out of [0,1)", o.Tau)
 	}
+	if o.FirstPhaseDelivery < 0 || o.FirstPhaseDelivery > 1 {
+		return fmt.Errorf("sim: FirstPhaseDelivery %v out of [0,1]", o.FirstPhaseDelivery)
+	}
+	if o.WarmupRounds < 0 {
+		return fmt.Errorf("sim: WarmupRounds %d must be non-negative", o.WarmupRounds)
+	}
 	switch o.Protocol {
 	case Lpbcast:
 		return o.Lpbcast.Validate()
@@ -162,12 +170,21 @@ func (o Options) Validate() error {
 	}
 }
 
-// NetStats counts network-level activity during a run.
+// NetStats counts network-level activity during a run. Every message that
+// reaches the network is counted in Sent and in exactly one of Delivered,
+// Dropped, ToCrashed, or UnknownDest (so Sent is always their sum);
+// TruncatedChase counts messages that never reached the network because
+// the same-round response cascade hit the maxChase safety valve.
 type NetStats struct {
-	Sent      uint64
-	Dropped   uint64 // lost to Bernoulli ε
-	ToCrashed uint64 // addressed to a crashed process
-	Delivered uint64
+	Sent        uint64
+	Dropped     uint64 // lost to Bernoulli ε (or first-phase unreliability)
+	ToCrashed   uint64 // addressed to a crashed process
+	UnknownDest uint64 // addressed to a PID outside the cluster
+	Delivered   uint64
+	// TruncatedChase counts messages still queued when a round's response
+	// cascade hit the maxChase hop cap and was cut off; they were
+	// discarded before any loss or crash filtering.
+	TruncatedChase uint64
 }
 
 // Cluster is a simulated system of processes plus its failure model.
@@ -185,6 +202,7 @@ type Cluster struct {
 	net       NetStats
 	deliverFn func(owner proto.ProcessID, ev proto.Event)
 	par       *shardedExecutor // non-nil when Workers > 1
+	seqAsync  *asyncSeq        // sequential wavefront scratch (Async, Workers <= 1)
 }
 
 // NewCluster builds a cluster of n processes with uniformly random initial
@@ -255,7 +273,7 @@ func NewCluster(opts Options) (*Cluster, error) {
 		c.crashes.SampleCrashes(c.ids, opts.Tau, horizon, root.Split())
 	}
 
-	if w := effectiveWorkers(opts.Workers, opts.N); w > 1 && !opts.Async {
+	if w := effectiveWorkers(opts.Workers, opts.N); w > 1 {
 		c.par = newShardedExecutor(c, w)
 	}
 
@@ -328,32 +346,28 @@ const maxChase = 16
 // travels exactly one hop per round. Same-round responses (e.g. pbcast
 // solicitations) are chased until the wire drains.
 //
-// In Async mode, processes tick one at a time in a random order and their
-// messages are delivered immediately: a receiver that ticks later in the
-// same period forwards fresh information within the period, as in the
-// paper's unsynchronized testbed.
+// In Async mode, processes tick once per period in a random order and a
+// receiver that has not yet ticked forwards fresh information within the
+// same period, as in the paper's unsynchronized testbed. Periods run the
+// deterministic wavefront schedule (async.go): sequentially for
+// Workers <= 1, sharded across the worker pool otherwise, with results
+// bit-for-bit identical either way.
 func (c *Cluster) RunRound() {
 	c.now++
-	if c.par != nil && !c.opts.Async {
+	if c.opts.Async {
+		if c.par != nil {
+			c.par.runAsyncPeriod()
+			return
+		}
+		c.runAsyncPeriodSeq()
+		return
+	}
+	if c.par != nil {
 		c.par.runRound()
 		return
 	}
-	order := make([]int, len(c.procs))
-	for i := range order {
-		order[i] = i
-	}
-	if c.opts.Async {
-		c.tickRNG.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-		for _, i := range order {
-			if c.crashes.Crashed(c.ids[i], c.now) {
-				continue
-			}
-			c.dispatch(c.procs[i].Tick(c.now))
-		}
-		return
-	}
 	var queue []proto.Message
-	for _, i := range order {
+	for i := range c.procs {
 		if c.crashes.Crashed(c.ids[i], c.now) {
 			continue
 		}
@@ -362,26 +376,48 @@ func (c *Cluster) RunRound() {
 	c.dispatch(queue)
 }
 
+// classify runs one message through the network's crash and loss
+// filtering and updates the counters: the message lands in Sent plus
+// exactly one of UnknownDest, ToCrashed, Dropped, or Delivered. It
+// returns the destination's process index and whether the message
+// survived. Every executor and both regimes route messages through this
+// single helper, so the accounting (and the loss stream's draw-per-
+// message discipline) cannot drift between them.
+func (c *Cluster) classify(m proto.Message) (int, bool) {
+	c.net.Sent++
+	di, ok := c.index[m.To]
+	if !ok {
+		c.net.UnknownDest++
+		return -1, false
+	}
+	if c.crashes.Crashed(m.To, c.now) {
+		c.net.ToCrashed++
+		return -1, false
+	}
+	if c.loss.Drop(m.From, m.To, c.now) {
+		c.net.Dropped++
+		return -1, false
+	}
+	c.net.Delivered++
+	return di, true
+}
+
 // dispatch delivers queued messages, chasing same-round responses.
 func (c *Cluster) dispatch(queue []proto.Message) {
 	for hop := 0; len(queue) > 0 && hop < maxChase; hop++ {
 		var next []proto.Message
 		for _, m := range queue {
-			c.net.Sent++
-			di, ok := c.index[m.To]
-			if !ok || c.crashes.Crashed(m.To, c.now) {
-				c.net.ToCrashed++
+			di, ok := c.classify(m)
+			if !ok {
 				continue
 			}
-			if c.loss.Drop(m.From, m.To, c.now) {
-				c.net.Dropped++
-				continue
-			}
-			c.net.Delivered++
 			next = append(next, c.procs[di].HandleMessage(m, c.now)...)
 		}
 		queue = next
 	}
+	// Responses still queued when the chase cap hit would otherwise vanish
+	// without a trace; account for them so the counters stay conservative.
+	c.net.TruncatedChase += uint64(len(queue))
 }
 
 // PublishAt publishes a fresh event at process index i (0-based) through
@@ -395,12 +431,33 @@ func (c *Cluster) PublishAt(i int) (proto.Event, error) {
 		ev := p.Publish(nil)
 		if c.opts.FirstPhaseDelivery > 0 {
 			for j, q := range c.procs {
-				if j == i || c.crashes.Crashed(c.ids[j], c.now) {
+				if j == i {
 					continue
 				}
-				if node, ok := q.(*pbcast.Node); ok && c.mcastRNG.Bool(c.opts.FirstPhaseDelivery) {
-					node.HandleFirstPhase(ev)
+				node, ok := q.(*pbcast.Node)
+				if !ok {
+					continue
 				}
+				// Each receiver's copy of the first-phase multicast is a
+				// real message: it is counted in Sent and runs through the
+				// same crash filtering and accounting as gossip traffic,
+				// with the phase's own unreliability applied first and the
+				// network loss model ε on top.
+				c.net.Sent++
+				if c.crashes.Crashed(c.ids[j], c.now) {
+					c.net.ToCrashed++
+					continue
+				}
+				if !c.mcastRNG.Bool(c.opts.FirstPhaseDelivery) {
+					c.net.Dropped++
+					continue
+				}
+				if c.loss.Drop(c.ids[i], c.ids[j], c.now) {
+					c.net.Dropped++
+					continue
+				}
+				c.net.Delivered++
+				node.HandleFirstPhase(ev)
 			}
 		}
 		return ev, nil

@@ -22,6 +22,9 @@ func TestOptionsValidate(t *testing.T) {
 		{"bad protocol", func(o *Options) { o.Protocol = Protocol(9) }},
 		{"bad lpbcast", func(o *Options) { o.Lpbcast.Fanout = 0 }},
 		{"bad pbcast", func(o *Options) { o.Protocol = PbcastPartial; o.Pbcast.Fanout = 0 }},
+		{"first phase above 1", func(o *Options) { o.FirstPhaseDelivery = 1.5 }},
+		{"first phase negative", func(o *Options) { o.FirstPhaseDelivery = -0.1 }},
+		{"negative warmup", func(o *Options) { o.WarmupRounds = -1 }},
 	}
 	for _, c := range cases {
 		c := c
