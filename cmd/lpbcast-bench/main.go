@@ -3,9 +3,9 @@
 // benchmark trajectory artifacts CI gates on.
 //
 // Two suites exist. The executor suite measures the simulator's round
-// executors (sequential reference vs sharded zero-alloc, in both the
-// synchronous-round and wavefront-async regimes) and a full
-// production-scale infection experiment; the live suite measures the
+// executors (sequential reference vs sharded zero-alloc, in the
+// synchronous-round, wavefront-async, and delayed network-model regimes)
+// and a full production-scale infection experiment; the live suite measures the
 // runtime's transport paths (UDP SendBatch packing over loopback, and an
 // in-process cluster broadcast). Results are written as a JSON array of
 // entries carrying ns/op, allocs/op, B/op and auxiliary metrics such as
@@ -37,6 +37,7 @@ import (
 	"time"
 
 	lpbcast "repro"
+	"repro/internal/fault"
 	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/transport"
@@ -216,16 +217,27 @@ func checkRegression(baselinePath string, fresh []Entry, tolerance float64) ([]s
 }
 
 // steadyCluster builds a fully-infected, buffer-warmed cluster: after the
-// long warmup every view map, subs list, and executor scratch buffer has
-// reached its high-water capacity, so remaining allocations are the
-// protocol's own.
-func steadyCluster(n, workers, warmRounds int, async bool) (*sim.Cluster, error) {
+// long warmup every view map, subs list, executor scratch buffer, and
+// in-flight delay bucket has reached its high-water capacity, so
+// remaining allocations are the protocol's own. The delayed variant runs
+// a two-cluster topology whose WAN link takes 1-3 rounds; its sequential
+// ("workers=1") flavor opts into Options.EmissionReuse so the zero-alloc
+// ceiling is meaningful there too.
+func steadyCluster(n, workers, warmRounds int, async, delayed bool) (*sim.Cluster, error) {
 	opts := sim.DefaultOptions(n)
 	opts.Seed = 9
 	opts.Tau = 0
 	opts.Lpbcast.AssumeFromDigest = true
 	opts.Workers = workers
 	opts.Async = async
+	if delayed {
+		opts.Topology = fault.TwoCluster{
+			Split: proto.ProcessID(n / 2),
+			Local: fault.LinkProfile{Epsilon: -1},
+			WAN:   fault.LinkProfile{Epsilon: -1, MinDelay: 1, MaxDelay: 3},
+		}
+		opts.EmissionReuse = workers == 0
+	}
 	cluster, err := sim.NewCluster(opts)
 	if err != nil {
 		return nil, err
@@ -258,14 +270,17 @@ func executorSuite(quick bool) []benchCase {
 		n, warm = 200, 60
 		infectionN = 500
 	}
-	steady := func(workers int, maxAllocs int64, async bool) benchCase {
+	steady := func(workers int, maxAllocs int64, async, delayed bool) benchCase {
 		label := "workers=1"
 		if workers != 0 {
 			label = "workers=max"
 		}
 		kind := "steady-round"
-		if async {
+		switch {
+		case async:
 			kind = "steady-async-period"
+		case delayed:
+			kind = "steady-delayed-round"
 		}
 		var cluster *sim.Cluster // built once, reused across b.N scaling runs
 		return benchCase{
@@ -275,7 +290,7 @@ func executorSuite(quick bool) []benchCase {
 			fn: func(b *testing.B) {
 				if cluster == nil {
 					var err error
-					if cluster, err = steadyCluster(n, workers, warm, async); err != nil {
+					if cluster, err = steadyCluster(n, workers, warm, async, delayed); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -297,16 +312,23 @@ func executorSuite(quick bool) []benchCase {
 	return []benchCase{
 		// The sequential executor is the cloning reference; it is gated
 		// only relative to its own baseline.
-		steady(0, -1, false),
+		steady(0, -1, false, false),
 		// The sharded executor runs engines in emission-reuse mode over
 		// retained buffers and persistent workers: the zero-alloc
 		// acceptance criterion, as an absolute ceiling.
-		steady(benchWorkers(), 2, false),
+		steady(benchWorkers(), 2, false, false),
 		// The async pair measures the wavefront period executor: the
 		// sequential reference, and the sharded speculative schedule under
 		// the same zero-alloc ceiling as its synchronous sibling.
-		steady(0, -1, true),
-		steady(benchWorkers(), 2, true),
+		steady(0, -1, true, false),
+		steady(benchWorkers(), 2, true, false),
+		// The delayed pair routes WAN traffic through the in-flight delay
+		// ring (two-cluster topology, 1-3 round WAN delay). Both flavors
+		// carry the absolute ceiling — the sequential one runs in
+		// EmissionReuse mode — so the ring can never silently start
+		// allocating in steady state.
+		steady(0, 2, false, true),
+		steady(benchWorkers(), 2, false, true),
 		{
 			name: fmt.Sprintf("executor/infection/n=%d/workers=max", infectionN),
 			gate: true, maxAllocs: -1,

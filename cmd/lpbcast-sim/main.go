@@ -14,9 +14,11 @@
 //
 // The -matrix flag runs a scenario sweep instead of the figures: a
 // semicolon-separated grid of n (system sizes), f (fanouts), eps (loss
-// probabilities), tau (crash fractions), proto (lpbcast, pbcast/partial,
-// pbcast/total), rounds, repeats and seed. Cells run concurrently and the
-// sweep is deterministic for a given spec.
+// probabilities), tau (crash fractions), delay (fixed per-message delivery
+// delays in rounds), proto (lpbcast, pbcast/partial, pbcast/total),
+// rounds, repeats and seed. Cells run concurrently and the sweep is
+// deterministic for a given spec. The "latency" figure compares infection
+// latency across network topologies (flat, two-cluster WAN, hierarchical).
 package main
 
 import (
@@ -40,7 +42,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("lpbcast-sim", flag.ContinueOnError)
 	var (
-		fig     = fs.String("fig", "all", "figure to print: 5a, 5b, 6a, 6b, 7a, 7b, crash, all")
+		fig     = fs.String("fig", "all", "figure to print: 5a, 5b, 6a, 6b, 7a, 7b, crash, latency, all")
 		quick   = fs.Bool("quick", false, "use reduced repeats/rounds")
 		workers = fs.Int("workers", -1, "executor shards per cluster, for synchronous rounds and async periods alike (-1 = GOMAXPROCS, 0/1 = sequential)")
 		matrix  = fs.String("matrix", "", `scenario sweep spec, e.g. "n=500,1000;f=3,4;eps=0.05;tau=0.01;proto=lpbcast"`)
@@ -95,13 +97,14 @@ func run(args []string) error {
 		"crash": func(sim.FigureScale) (*stats.Table, error) {
 			return sim.ResilienceSweep([]float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6}, 9)
 		},
+		"latency": sim.FigureLatency,
 	}
-	order := []string{"5a", "5b", "6a", "6b", "7a", "7b", "crash"}
+	order := []string{"5a", "5b", "6a", "6b", "7a", "7b", "crash", "latency"}
 
 	if *fig != "all" {
 		p, ok := printers[*fig]
 		if !ok {
-			return fmt.Errorf("unknown figure %q (want 5a, 5b, 6a, 6b, 7a, 7b, crash, all)", *fig)
+			return fmt.Errorf("unknown figure %q (want 5a, 5b, 6a, 6b, 7a, 7b, crash, latency, all)", *fig)
 		}
 		tbl, err := p(scale)
 		if err != nil {
@@ -147,6 +150,8 @@ func parseMatrixSpec(s string) (sim.MatrixSpec, error) {
 			spec.Epsilons, err = parseFloats(vals)
 		case "tau":
 			spec.Taus, err = parseFloats(vals)
+		case "delay":
+			spec.Delays, err = parseInts(vals)
 		case "proto":
 			spec.Protocols, err = parseProtocols(vals)
 		case "rounds":
@@ -158,7 +163,7 @@ func parseMatrixSpec(s string) (sim.MatrixSpec, error) {
 			seed, err = parseSingleInt(key, vals)
 			spec.Seed = uint64(seed)
 		default:
-			return spec, fmt.Errorf("matrix: unknown key %q (want n, f, eps, tau, proto, rounds, repeats, seed)", key)
+			return spec, fmt.Errorf("matrix: unknown key %q (want n, f, eps, tau, delay, proto, rounds, repeats, seed)", key)
 		}
 		if err != nil {
 			return spec, err

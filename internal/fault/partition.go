@@ -1,0 +1,108 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Partition is a scheduled network partition: during the half-open round
+// window [From, To) every link of the named classes is cut — messages sent
+// across a cut link are swallowed by the network — and at round To the
+// partition heals and traffic flows again. Combined with a Topology this
+// expresses the classic transient-split scenarios (a WAN link going dark
+// between two datacenters, a region dropping off the backbone); without a
+// topology every link is LinkLocal and a partition silences the whole
+// network for its window.
+//
+// Partitions cut at *send time*: a message enters the network when it is
+// sent, so a message sent over a cut link is dropped even if its delivery
+// delay would have landed it after the heal, and a delayed message sent
+// before the window arrives normally even if it lands inside it.
+type Partition struct {
+	// From and To bound the cut window in rounds: [From, To).
+	From, To uint64
+	// Classes are the link classes cut; empty means every class.
+	Classes []LinkClass
+}
+
+// Cuts reports whether the partition severs links of the given class at
+// round now.
+func (p Partition) Cuts(class LinkClass, now uint64) bool {
+	if now < p.From || now >= p.To {
+		return false
+	}
+	if len(p.Classes) == 0 {
+		return true
+	}
+	for _, c := range p.Classes {
+		if c == class {
+			return true
+		}
+	}
+	return false
+}
+
+// String implements fmt.Stringer.
+func (p Partition) String() string {
+	if len(p.Classes) == 0 {
+		return fmt.Sprintf("partition[%d,%d)", p.From, p.To)
+	}
+	return fmt.Sprintf("partition[%d,%d)%v", p.From, p.To, p.Classes)
+}
+
+// CutLink reports whether any partition in the schedule severs links of
+// the given class at round now.
+func CutLink(parts []Partition, class LinkClass, now uint64) bool {
+	for _, p := range parts {
+		if p.Cuts(class, now) {
+			return true
+		}
+	}
+	return false
+}
+
+// ValidatePartitions checks a partition schedule against the number of
+// link classes of the topology in force and the experiment horizon (0
+// means unbounded): windows must be non-empty, start inside the horizon,
+// reference existing classes, and — per class — not overlap, so that
+// "which partition cut this message" always has one answer.
+func ValidatePartitions(parts []Partition, classes int, horizon uint64) error {
+	type window struct{ from, to uint64 }
+	perClass := make([][]window, classes)
+	for i, p := range parts {
+		if p.From >= p.To {
+			return fmt.Errorf("fault: partition %d: empty window [%d,%d)", i, p.From, p.To)
+		}
+		if horizon > 0 && p.From >= horizon {
+			return fmt.Errorf("fault: partition %d: window [%d,%d) starts outside the horizon %d", i, p.From, p.To, horizon)
+		}
+		cut := p.Classes
+		if len(cut) == 0 {
+			cut = make([]LinkClass, classes)
+			for c := range cut {
+				cut[c] = LinkClass(c)
+			}
+		}
+		seen := make(map[LinkClass]bool, len(cut))
+		for _, c := range cut {
+			if c < 0 || int(c) >= classes {
+				return fmt.Errorf("fault: partition %d: link class %d outside [0,%d)", i, int(c), classes)
+			}
+			if seen[c] {
+				return fmt.Errorf("fault: partition %d: duplicate link class %v", i, c)
+			}
+			seen[c] = true
+			perClass[c] = append(perClass[c], window{p.From, p.To})
+		}
+	}
+	for c, ws := range perClass {
+		sort.Slice(ws, func(i, j int) bool { return ws[i].from < ws[j].from })
+		for i := 1; i < len(ws); i++ {
+			if ws[i].from < ws[i-1].to {
+				return fmt.Errorf("fault: overlapping partitions on class %v: [%d,%d) and [%d,%d)",
+					LinkClass(c), ws[i-1].from, ws[i-1].to, ws[i].from, ws[i].to)
+			}
+		}
+	}
+	return nil
+}

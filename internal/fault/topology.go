@@ -1,0 +1,259 @@
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/proto"
+	"repro/internal/rng"
+)
+
+// This file models the network's *structure*: a Topology assigns every
+// directed (src, dst) link to a LinkClass, and each class carries a
+// LinkProfile with its own loss probability and delivery-delay range. The
+// paper's measurements (§3.2) ran over a real network where messages take
+// time to arrive and links are not uniform; topologies make those scenario
+// families (LAN/WAN splits, hierarchical sites, scheduled partitions over
+// link classes) expressible in the simulator while the §4.1 model — flat
+// Bernoulli ε — remains the default when no topology is configured.
+//
+// Topologies are pure, immutable descriptions: they own no RNG state, so a
+// single value can be shared by every repeat of an experiment and by the
+// sequential and sharded executors without breaking reproducibility. All
+// stochastic draws they imply (loss, delay jitter) are performed by the
+// caller against caller-owned streams.
+
+// LinkClass identifies a category of links within a Topology. Classes are
+// dense indices in [0, Classes()); the named constants document the
+// conventional meaning the built-in topologies assign them.
+type LinkClass int
+
+const (
+	// LinkLocal is intra-cluster traffic (same LAN).
+	LinkLocal LinkClass = iota
+	// LinkWAN is inter-cluster traffic (TwoCluster's wide-area link, or
+	// Hierarchical's links between clusters of the same region).
+	LinkWAN
+	// LinkGlobal is inter-region traffic in Hierarchical topologies.
+	LinkGlobal
+)
+
+// String implements fmt.Stringer.
+func (c LinkClass) String() string {
+	switch c {
+	case LinkLocal:
+		return "local"
+	case LinkWAN:
+		return "wan"
+	case LinkGlobal:
+		return "global"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// LinkProfile describes one link class: its loss probability and its
+// delivery delay, in whole gossip rounds (periods). A message sent at
+// round r over a link with delay d arrives at the top of round r+d; delay
+// 0 keeps the §5.1 same-round semantics.
+type LinkProfile struct {
+	// Epsilon is the per-message loss probability on this class. A
+	// negative value means "inherit the experiment's global ε".
+	Epsilon float64
+	// MinDelay and MaxDelay bound the delivery delay in rounds; the delay
+	// of each message is drawn uniformly from [MinDelay, MaxDelay]. Equal
+	// bounds make the delay deterministic (and draw-free).
+	MinDelay, MaxDelay int
+}
+
+// Validate reports profile errors.
+func (p LinkProfile) Validate() error {
+	if p.Epsilon >= 1 {
+		return fmt.Errorf("fault: link epsilon %v out of [0,1) (negative inherits)", p.Epsilon)
+	}
+	if p.MinDelay < 0 || p.MaxDelay < 0 {
+		return fmt.Errorf("fault: negative link delay [%d,%d]", p.MinDelay, p.MaxDelay)
+	}
+	if p.MinDelay > p.MaxDelay {
+		return fmt.Errorf("fault: link delay bounds inverted [%d,%d]", p.MinDelay, p.MaxDelay)
+	}
+	return nil
+}
+
+// Topology maps directed links to classes and classes to profiles.
+// Implementations must be pure: Class and Profile may not mutate state or
+// draw randomness, so one topology value is safely shared across repeats,
+// executors, and goroutines.
+type Topology interface {
+	// Class returns the link class of traffic from src to dst.
+	Class(src, dst proto.ProcessID) LinkClass
+	// Profile returns the loss/delay profile of a class.
+	Profile(c LinkClass) LinkProfile
+	// Classes returns the number of classes; Class results are < Classes.
+	Classes() int
+	// Validate reports configuration errors.
+	Validate() error
+}
+
+// MaxLinkDelay returns the largest MaxDelay over the topology's classes —
+// the bound the simulator uses to size its in-flight ring.
+func MaxLinkDelay(t Topology) int {
+	max := 0
+	for c := 0; c < t.Classes(); c++ {
+		if d := t.Profile(LinkClass(c)).MaxDelay; d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Uniform is the degenerate topology: every link is the same class. It
+// exists so "one profile for the whole network" composes with partitions
+// and the topology-backed delay model without a special case.
+type Uniform struct {
+	Link LinkProfile
+}
+
+// Class implements Topology.
+func (Uniform) Class(_, _ proto.ProcessID) LinkClass { return LinkLocal }
+
+// Profile implements Topology.
+func (u Uniform) Profile(LinkClass) LinkProfile { return u.Link }
+
+// Classes implements Topology.
+func (Uniform) Classes() int { return 1 }
+
+// Validate implements Topology.
+func (u Uniform) Validate() error { return u.Link.Validate() }
+
+// TwoCluster splits the process space into two LAN clusters joined by a
+// WAN link: processes with id <= Split form cluster A, the rest cluster
+// B. Intra-cluster traffic is LinkLocal, inter-cluster traffic LinkWAN —
+// the classic two-datacenter shape of the paper's wide-area discussion.
+type TwoCluster struct {
+	// Split is the highest process id of cluster A. The simulator numbers
+	// processes 1..N, so Split = N/2 halves the system.
+	Split proto.ProcessID
+	// Local is the profile of intra-cluster links, WAN of inter-cluster.
+	Local, WAN LinkProfile
+}
+
+// Class implements Topology.
+func (t TwoCluster) Class(src, dst proto.ProcessID) LinkClass {
+	if (src <= t.Split) == (dst <= t.Split) {
+		return LinkLocal
+	}
+	return LinkWAN
+}
+
+// Profile implements Topology.
+func (t TwoCluster) Profile(c LinkClass) LinkProfile {
+	if c == LinkLocal {
+		return t.Local
+	}
+	return t.WAN
+}
+
+// Classes implements Topology.
+func (TwoCluster) Classes() int { return 2 }
+
+// Validate implements Topology.
+func (t TwoCluster) Validate() error {
+	if t.Split == 0 {
+		return fmt.Errorf("fault: two-cluster topology needs Split >= 1")
+	}
+	if err := t.Local.Validate(); err != nil {
+		return fmt.Errorf("fault: local profile: %w", err)
+	}
+	if err := t.WAN.Validate(); err != nil {
+		return fmt.Errorf("fault: wan profile: %w", err)
+	}
+	return nil
+}
+
+// Hierarchical groups processes into clusters of ClusterSize and clusters
+// into regions of ClustersPerRegion: same cluster → LinkLocal, same region
+// → LinkWAN, different regions → LinkGlobal. It models the three-tier
+// rack/site/continent structure of a planetary deployment.
+type Hierarchical struct {
+	// ClusterSize is the number of processes per cluster (>= 1).
+	ClusterSize int
+	// ClustersPerRegion is the number of clusters per region (>= 1).
+	ClustersPerRegion int
+	// Local, WAN, Global are the three tier profiles.
+	Local, WAN, Global LinkProfile
+}
+
+// cluster returns the cluster index of a process (ids are 1-based).
+func (t Hierarchical) cluster(p proto.ProcessID) int {
+	return int(p-1) / t.ClusterSize
+}
+
+// Class implements Topology.
+func (t Hierarchical) Class(src, dst proto.ProcessID) LinkClass {
+	cs, cd := t.cluster(src), t.cluster(dst)
+	if cs == cd {
+		return LinkLocal
+	}
+	if cs/t.ClustersPerRegion == cd/t.ClustersPerRegion {
+		return LinkWAN
+	}
+	return LinkGlobal
+}
+
+// Profile implements Topology.
+func (t Hierarchical) Profile(c LinkClass) LinkProfile {
+	switch c {
+	case LinkLocal:
+		return t.Local
+	case LinkWAN:
+		return t.WAN
+	default:
+		return t.Global
+	}
+}
+
+// Classes implements Topology.
+func (Hierarchical) Classes() int { return 3 }
+
+// Validate implements Topology.
+func (t Hierarchical) Validate() error {
+	if t.ClusterSize < 1 {
+		return fmt.Errorf("fault: hierarchical ClusterSize %d must be >= 1", t.ClusterSize)
+	}
+	if t.ClustersPerRegion < 1 {
+		return fmt.Errorf("fault: hierarchical ClustersPerRegion %d must be >= 1", t.ClustersPerRegion)
+	}
+	for _, p := range []struct {
+		name string
+		pr   LinkProfile
+	}{{"local", t.Local}, {"wan", t.WAN}, {"global", t.Global}} {
+		if err := p.pr.Validate(); err != nil {
+			return fmt.Errorf("fault: %s profile: %w", p.name, err)
+		}
+	}
+	return nil
+}
+
+// TopologyLoss is a LossModel that draws each message's fate from its
+// link-class profile, falling back to a global ε for classes that inherit
+// (Epsilon < 0). It is the per-link generalization of Bernoulli.
+type TopologyLoss struct {
+	topo     Topology
+	fallback float64
+	rand     *rng.Source
+}
+
+// NewTopologyLoss creates a topology-driven loss model. fallback is the
+// experiment's global ε, used by profiles with a negative Epsilon.
+func NewTopologyLoss(t Topology, fallback float64, r *rng.Source) *TopologyLoss {
+	return &TopologyLoss{topo: t, fallback: fallback, rand: r}
+}
+
+// Drop implements LossModel.
+func (l *TopologyLoss) Drop(src, dst proto.ProcessID, _ uint64) bool {
+	eps := l.topo.Profile(l.topo.Class(src, dst)).Epsilon
+	if eps < 0 {
+		eps = l.fallback
+	}
+	return l.rand.Bool(eps)
+}

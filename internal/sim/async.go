@@ -143,13 +143,26 @@ func (c *Cluster) runAsyncPeriodSeq() {
 		a = newAsyncSeq(n)
 		c.seqAsync = a
 	}
+	for i := 0; i < n; i++ {
+		a.composed[i] = false
+	}
+	// Arrival barrier: this period's delayed arrivals are handled before
+	// any tick composes (a message arriving "between periods" is visible
+	// to every tick of its arrival period), in their deterministic
+	// in-flight enqueue order, and their same-period responses are chased
+	// through the regular wave-barrier machinery. The drain draws no
+	// randomness, so running it before the period's shuffle keeps every
+	// stream aligned with the sharded executor, which does the same.
+	if c.fl != nil {
+		a.queue, a.dests = c.drainArrivals(a.queue[:0], a.dests[:0])
+		if len(a.queue) > 0 {
+			c.asyncBarrierSeq(a)
+		}
+	}
 	for i := range a.order {
 		a.order[i] = i
 	}
 	c.tickRNG.Shuffle(n, func(i, j int) { a.order[i], a.order[j] = a.order[j], a.order[i] })
-	for i := 0; i < n; i++ {
-		a.composed[i] = false
-	}
 	lookahead := asyncLookahead(n)
 
 	front := 0

@@ -1,0 +1,14 @@
+//go:build !go1.24
+
+package sim
+
+import "runtime"
+
+// poolCleanup arranges for the worker pool to shut down once the cluster
+// becomes unreachable — the backstop for clusters that are never Closed.
+// Toolchains before Go 1.24 lack runtime.AddCleanup; a finalizer gives
+// the same guarantee because the pool deliberately holds no reference
+// back to the cluster.
+func poolCleanup(c *Cluster, pool *workerPool) {
+	runtime.SetFinalizer(c, func(cl *Cluster) { pool.shutdown() })
+}

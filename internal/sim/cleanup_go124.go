@@ -1,0 +1,13 @@
+//go:build go1.24
+
+package sim
+
+import "runtime"
+
+// poolCleanup arranges for the worker pool to shut down once the cluster
+// becomes unreachable — the backstop for clusters that are never Closed.
+// On Go 1.24+ this uses runtime.AddCleanup; the pool deliberately holds no
+// reference back to the cluster, so the cleanup can fire.
+func poolCleanup(c *Cluster, pool *workerPool) {
+	runtime.AddCleanup(c, func(p *workerPool) { p.shutdown() }, pool)
+}

@@ -236,7 +236,9 @@ func newShardedExecutor(c *Cluster, w int) *shardedExecutor {
 	}
 	// Backstop for clusters that are never Closed (the experiment runners
 	// do close): once the cluster is collectable, release the workers.
-	runtime.AddCleanup(c, func(p *workerPool) { p.shutdown() }, e.pool)
+	// poolCleanup is build-tagged: AddCleanup on Go 1.24+, a finalizer on
+	// the 1.23 toolchain of the CI version matrix.
+	poolCleanup(c, e.pool)
 	return e
 }
 
@@ -284,23 +286,35 @@ func (e *shardedExecutor) handleShard(s int) {
 // runRound executes one synchronous gossip round. Cluster.RunRound has
 // already advanced c.now.
 func (e *shardedExecutor) runRound() {
+	c := e.c
 	// Tick phase: each shard emits its processes' gossips in index order.
 	e.parallel(e.tickFn)
-	// Deterministic merge: shard order == process index order, the exact
-	// queue the sequential executor builds.
+	// Deterministic merge: this round's delayed arrivals first (in their
+	// in-flight enqueue order, with their arrival accounting applied),
+	// then shard order == process index order — the exact queue the
+	// sequential executor builds. The drain draws no randomness, so its
+	// position relative to the tick phase is unobservable.
 	e.queue = e.queue[:0]
+	pre := 0
+	if c.fl != nil {
+		e.queue, c.arrivalDests = c.drainArrivals(e.queue, c.arrivalDests[:0])
+		pre = len(e.queue)
+	}
 	for s := 0; s < e.workers; s++ {
 		e.queue = append(e.queue, e.tickBufs[s]...)
 	}
-	e.dispatch()
+	e.dispatch(pre)
 	if e.poison {
 		e.poisonRecycled()
 	}
 }
 
 // dispatch delivers the queued messages, chasing same-round responses up
-// to maxChase hops, exactly like the sequential Cluster.dispatch.
-func (e *shardedExecutor) dispatch() {
+// to maxChase hops, exactly like the sequential Cluster.dispatch. The
+// first pre messages are pre-filtered delayed arrivals: they skip
+// classify (their send-time filtering and arrival accounting already
+// happened) and are binned straight to their destination shards.
+func (e *shardedExecutor) dispatch(pre int) {
 	c := e.c
 	for hop := 0; len(e.queue) > 0 && hop < maxChase; hop++ {
 		// Filter phase (sequential): the loss model's RNG draws must
@@ -309,9 +323,14 @@ func (e *shardedExecutor) dispatch() {
 			e.inboxes[s] = e.inboxes[s][:0]
 		}
 		for pos, m := range e.queue {
-			di, ok := c.classify(m)
-			if !ok {
-				continue
+			var di int
+			if pos < pre {
+				di = c.arrivalDests[pos] // pre-filtered arrival
+			} else {
+				var ok bool
+				if di, ok = c.classify(m); !ok {
+					continue
+				}
 			}
 			s := e.shardOf[di]
 			e.inboxes[s] = append(e.inboxes[s], routed{pos: pos, di: di})
@@ -321,6 +340,7 @@ func (e *shardedExecutor) dispatch() {
 		e.parallel(e.handleFn)
 		e.mergeResponses()
 		e.queue, e.next = e.next, e.queue
+		pre = 0
 	}
 	// Mirror the sequential executor's accounting for a cut-off chase.
 	c.net.TruncatedChase += uint64(len(e.queue))
@@ -361,41 +381,52 @@ func (e *shardedExecutor) mergeResponses() {
 // heisenbug.
 const poisonSentinel = proto.ProcessID(^uint64(0))
 
+// poisonEventID marks poisoned event slots.
+var poisonEventID = proto.EventID{Origin: poisonSentinel, Seq: ^uint64(0)}
+
+// poisonGossip overwrites a gossip's contents with sentinels.
+func poisonGossip(g *proto.Gossip) {
+	g.From = poisonSentinel
+	for j := range g.Subs {
+		g.Subs[j] = poisonSentinel
+	}
+	for j := range g.Unsubs {
+		g.Unsubs[j] = proto.Unsubscription{Process: poisonSentinel, Stamp: ^uint64(0)}
+	}
+	for j := range g.Events {
+		g.Events[j] = proto.Event{ID: poisonEventID}
+	}
+	for j := range g.Digest {
+		g.Digest[j] = poisonEventID
+	}
+	for j := range g.DigestWatermarks {
+		g.DigestWatermarks[j] = poisonEventID
+	}
+}
+
 // poisonMessages overwrites the message slots — and, through their shared
 // pointers, the gossip contents — of a recycled buffer with sentinels.
 func poisonMessages(msgs []proto.Message) {
-	poisonID := proto.EventID{Origin: poisonSentinel, Seq: ^uint64(0)}
 	for i := range msgs {
 		if g := msgs[i].Gossip; g != nil {
-			g.From = poisonSentinel
-			for j := range g.Subs {
-				g.Subs[j] = poisonSentinel
-			}
-			for j := range g.Unsubs {
-				g.Unsubs[j] = proto.Unsubscription{Process: poisonSentinel, Stamp: ^uint64(0)}
-			}
-			for j := range g.Events {
-				g.Events[j] = proto.Event{ID: poisonID}
-			}
-			for j := range g.Digest {
-				g.Digest[j] = poisonID
-			}
-			for j := range g.DigestWatermarks {
-				g.DigestWatermarks[j] = poisonID
-			}
+			poisonGossip(g)
 		}
 		msgs[i] = proto.Message{From: poisonSentinel, To: poisonSentinel}
 	}
 }
 
 // poisonRecycled overwrites every buffer this round recycled — the shared
-// tick gossips and the executor-owned outbox/response slots — with
-// sentinel values. Correct phases never read them after the round, so
-// poisoned runs must stay bit-for-bit identical to unpoisoned ones; the
-// reuse property tests assert exactly that.
+// tick gossips, the executor-owned outbox/response slots, and the delay
+// ring's just-drained arrival bucket — with sentinel values. Correct
+// phases never read them after the round, so poisoned runs must stay
+// bit-for-bit identical to unpoisoned ones; the reuse property tests
+// assert exactly that.
 func (e *shardedExecutor) poisonRecycled() {
 	for s := 0; s < e.workers; s++ {
 		poisonMessages(e.tickBufs[s])
 		poisonMessages(e.resps[s])
+	}
+	if e.c.fl != nil {
+		e.c.fl.poisonDrained(e.c.now)
 	}
 }

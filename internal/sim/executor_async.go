@@ -48,13 +48,30 @@ func (e *shardedExecutor) composeShard(s int) {
 func (e *shardedExecutor) runAsyncPeriod() {
 	c := e.c
 	n := len(c.procs)
+	for i := 0; i < n; i++ {
+		e.aComposed[i] = false
+	}
+	// Arrival barrier: drain this period's delayed arrivals in enqueue
+	// order, bin the survivors to their destination shards, and run the
+	// sharded wave barrier — handle fan-out plus response chase — before
+	// any tick composes, mirroring the sequential executor's arrival
+	// barrier position exactly.
+	if c.fl != nil {
+		for s := 0; s < e.workers; s++ {
+			e.inboxes[s] = e.inboxes[s][:0]
+		}
+		e.queue, c.arrivalDests = c.drainArrivals(e.queue[:0], c.arrivalDests[:0])
+		for pos, di := range c.arrivalDests {
+			e.inboxes[e.shardOf[di]] = append(e.inboxes[e.shardOf[di]], routed{pos: pos, di: di})
+		}
+		if len(e.queue) > 0 {
+			e.asyncBarrier()
+		}
+	}
 	for i := range e.aOrder {
 		e.aOrder[i] = i
 	}
 	c.tickRNG.Shuffle(n, func(i, j int) { e.aOrder[i], e.aOrder[j] = e.aOrder[j], e.aOrder[i] })
-	for i := 0; i < n; i++ {
-		e.aComposed[i] = false
-	}
 	lookahead := asyncLookahead(n)
 
 	front := 0
@@ -166,4 +183,7 @@ func (e *shardedExecutor) poisonAsyncRecycled() {
 	}
 	poisonMessages(e.queue)
 	poisonMessages(e.next)
+	if e.c.fl != nil {
+		e.c.fl.poisonDrained(e.c.now)
+	}
 }

@@ -44,7 +44,8 @@ func TestParallelAsyncMatchesSequentialInfection(t *testing.T) {
 // shard count and for GOMAXPROCS.
 func TestParallelAsyncMatchesSequential10k(t *testing.T) {
 	t.Parallel()
-	opts := asyncOpts(10_000, 3)
+	n := bigN()
+	opts := asyncOpts(n, 3)
 	o := opts
 	o.Workers = 0
 	seq, err := InfectionExperiment(o, 8, 1)
@@ -58,12 +59,12 @@ func TestParallelAsyncMatchesSequential10k(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		assertIdentical(t, fmt.Sprintf("async infection@10k/workers=%d", w), seq, par)
+		assertIdentical(t, fmt.Sprintf("async infection@%d/workers=%d", n, w), seq, par)
 	}
 	// The run must actually disseminate; otherwise equality is vacuous.
-	// Async covers ≈2 hops per period, so 8 periods saturate 10,000.
-	if last := seq.PerRound[len(seq.PerRound)-1]; last < 9_500 {
-		t.Errorf("only %v of 10000 infected; dissemination failed", last)
+	// Async covers ≈2 hops per period, so 8 periods saturate the system.
+	if last := seq.PerRound[len(seq.PerRound)-1]; last < float64(n)*0.95 {
+		t.Errorf("only %v of %d infected; dissemination failed", last, n)
 	}
 }
 
@@ -170,10 +171,10 @@ func TestParallelAsyncReuseNoUseAfterRecycle(t *testing.T) {
 }
 
 // TestParallelAsyncReuseWithPoison10k extends the async use-after-recycle
-// property to the acceptance scale.
+// property to the acceptance scale (shrunk under -short; see bigN).
 func TestParallelAsyncReuseWithPoison10k(t *testing.T) {
 	t.Parallel()
-	opts := asyncOpts(10_000, 3)
+	opts := asyncOpts(bigN(), 3)
 	o := opts
 	o.Workers = 0
 	seq, err := InfectionExperiment(o, 8, 1)

@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"repro/internal/analysis"
+	"repro/internal/fault"
+	"repro/internal/proto"
 	"repro/internal/stats"
 )
 
@@ -99,6 +101,58 @@ func Figure5b(scale FigureScale) (*stats.Table, error) {
 			return nil, err
 		}
 		s := &stats.Series{Name: fmt.Sprintf("l=%d", l)}
+		for r, v := range res.PerRound {
+			s.Add(float64(r), v)
+		}
+		tbl.Series = append(tbl.Series, s)
+	}
+	return tbl, nil
+}
+
+// FigureLatency is an extension figure opened by the network delay model:
+// infection curves of the same system (n=250, l=15, F=3) over three
+// network shapes — the paper's flat zero-delay network (§5.1), a
+// two-cluster LAN/WAN topology whose WAN link takes 2-4 rounds, and a
+// three-tier hierarchical topology — with each series annotated with the
+// run's mean delivery latency in rounds (InfectionResult.
+// MeanDeliveryRound). With delays in force that latency is a real network
+// quantity, time spent in flight included, rather than a hop count.
+func FigureLatency(scale FigureScale) (*stats.Table, error) {
+	const n, rounds = 250, 18
+	shapes := []struct {
+		name string
+		mut  func(*Options)
+	}{
+		{"flat", func(*Options) {}},
+		{"two-cluster", func(o *Options) {
+			o.Topology = fault.TwoCluster{
+				Split: proto.ProcessID(n / 2),
+				Local: fault.LinkProfile{Epsilon: -1},
+				WAN:   fault.LinkProfile{Epsilon: -1, MinDelay: 2, MaxDelay: 4},
+			}
+		}},
+		{"hierarchical", func(o *Options) {
+			o.Topology = fault.Hierarchical{
+				ClusterSize: 25, ClustersPerRegion: 5,
+				Local:  fault.LinkProfile{Epsilon: -1},
+				WAN:    fault.LinkProfile{Epsilon: -1, MinDelay: 1, MaxDelay: 2},
+				Global: fault.LinkProfile{Epsilon: -1, MinDelay: 3, MaxDelay: 5},
+			}
+		}},
+	}
+	tbl := &stats.Table{
+		Title:   fmt.Sprintf("Extension — infection latency by network shape (n=%d, l=15, F=3, ε=0.05)", n),
+		XLabel:  "round",
+		YFormat: "%.2f",
+	}
+	for _, sh := range shapes {
+		o := lpbcastInfectionOptions(n, 15, 3, 46, scale.Workers)
+		sh.mut(&o)
+		res, err := InfectionExperiment(o, rounds, scale.Repeats)
+		if err != nil {
+			return nil, fmt.Errorf("latency/%s: %w", sh.name, err)
+		}
+		s := &stats.Series{Name: fmt.Sprintf("%s (mean %.1f rounds)", sh.name, res.MeanDeliveryRound())}
 		for r, v := range res.PerRound {
 			s.Add(float64(r), v)
 		}

@@ -23,6 +23,27 @@ func (r InfectionResult) RoundsToReach(target float64) (int, bool) {
 	return len(r.PerRound), false
 }
 
+// MeanDeliveryRound returns the mean round at which the processes counted
+// in the final infection tally delivered the traced event — the run's
+// mean delivery latency in rounds. Under the zero-delay §5.1 model this
+// is a hop count; with a delay model or topology in force it measures
+// real network latency: time spent in flight counts.
+func (r InfectionResult) MeanDeliveryRound() float64 {
+	if len(r.PerRound) == 0 {
+		return 0
+	}
+	total := r.PerRound[len(r.PerRound)-1]
+	if total <= 0 {
+		return 0
+	}
+	sum, prev := 0.0, 0.0
+	for round, v := range r.PerRound {
+		sum += float64(round) * (v - prev)
+		prev = v
+	}
+	return sum / total
+}
+
 // InfectionExperiment traces the dissemination of a single event — the
 // paper's "run" (§4.1) — and averages the per-round infection counts over
 // repeats. Each repeat uses a fresh cluster derived from opts.Seed.

@@ -1,0 +1,167 @@
+package sim
+
+import "repro/internal/proto"
+
+// This file implements the deterministic in-flight queue behind the
+// network delay model: messages whose link delay is nonzero leave the
+// current round's dispatch and are parked until the top of their arrival
+// round. The queue is a ring of future-round buckets — bucket (r mod
+// maxDelay+1) holds exactly the messages arriving at round r — so enqueue
+// and drain are O(1) lookups and the whole structure is pre-sized once.
+//
+// Determinism. Messages are enqueued from classify, which every executor
+// (sequential and sharded, synchronous and async) calls in the same
+// deterministic order — the same merge order the span merge establishes
+// for same-round responses. A bucket therefore holds its messages in an
+// order that is a pure function of the simulation state, and draining it
+// front to back at the top of the arrival round reproduces that order
+// identically in every executor: the delayed path inherits the
+// bit-for-bit guarantee instead of needing its own.
+//
+// Allocation. The engines recycle their emission buffers (emission-reuse
+// mode), so a message outlives its round only if the queue deep-copies it.
+// Each bucket keeps one recycled storage slot per queued message — the
+// gossip value, its backing slices, and a flat payload arena — reused
+// every time the ring wraps around. Slots grow during warmup; in steady
+// state enqueue, drain, and reset touch no allocator (the
+// steady-delayed-round bench entries and TestDelayedRoundAllocs gate
+// this at ≤ 2 allocs per round).
+
+// flSlot is the recycled deep-copy storage for one in-flight message.
+type flSlot struct {
+	gossip  proto.Gossip
+	request []proto.EventID
+	reply   []proto.Event
+	hops    []uint32
+	payload []byte // flat arena for event payload bytes
+}
+
+// copyEvents deep-copies events into dst, parking payload bytes in the
+// slot's arena. The caller has pre-sized the arena for every payload of
+// the message, so the appends below can never reallocate it (sub-slices
+// handed out earlier stay valid).
+func (s *flSlot) copyEvents(dst, src []proto.Event) []proto.Event {
+	for _, e := range src {
+		out := proto.Event{ID: e.ID}
+		if e.Payload != nil {
+			start := len(s.payload)
+			s.payload = append(s.payload, e.Payload...)
+			out.Payload = s.payload[start:len(s.payload):len(s.payload)]
+		}
+		dst = append(dst, out)
+	}
+	return dst
+}
+
+// copyMessage deep-copies m into the slot's recycled storage and returns
+// the slot-backed envelope. Nothing in the result aliases caller-owned
+// memory, so the original (an engine's recycled emission scratch, a
+// response span, ...) is free to be rewritten the moment the call returns.
+func (s *flSlot) copyMessage(m proto.Message) proto.Message {
+	need := 0
+	if m.Gossip != nil {
+		for _, e := range m.Gossip.Events {
+			need += len(e.Payload)
+		}
+	}
+	for _, e := range m.Reply {
+		need += len(e.Payload)
+	}
+	if cap(s.payload) < need {
+		s.payload = make([]byte, 0, need)
+	} else {
+		s.payload = s.payload[:0]
+	}
+
+	out := proto.Message{Kind: m.Kind, From: m.From, To: m.To, Subscriber: m.Subscriber}
+	if g := m.Gossip; g != nil {
+		dst := &s.gossip
+		dst.From = g.From
+		dst.Subs = append(dst.Subs[:0], g.Subs...)
+		dst.Unsubs = append(dst.Unsubs[:0], g.Unsubs...)
+		dst.Digest = append(dst.Digest[:0], g.Digest...)
+		dst.DigestWatermarks = append(dst.DigestWatermarks[:0], g.DigestWatermarks...)
+		dst.Events = s.copyEvents(dst.Events[:0], g.Events)
+		out.Gossip = dst
+	}
+	if m.Request != nil {
+		s.request = append(s.request[:0], m.Request...)
+		out.Request = s.request
+	}
+	if m.Reply != nil {
+		s.reply = s.copyEvents(s.reply[:0], m.Reply)
+		out.Reply = s.reply
+	}
+	if m.ReplyHops != nil {
+		s.hops = append(s.hops[:0], m.ReplyHops...)
+		out.ReplyHops = s.hops
+	}
+	return out
+}
+
+// flBucket holds the messages arriving at one future round, in enqueue
+// (classify) order, plus their recycled storage slots.
+type flBucket struct {
+	msgs  []proto.Message
+	slots []*flSlot
+}
+
+// inflightQueue is the ring of future-round buckets.
+type inflightQueue struct {
+	buckets []flBucket
+}
+
+// newInflight creates a ring covering delays up to maxDelay rounds.
+func newInflight(maxDelay int) *inflightQueue {
+	return &inflightQueue{buckets: make([]flBucket, maxDelay+1)}
+}
+
+// bucket returns the bucket of arrival round at.
+func (q *inflightQueue) bucket(at uint64) *flBucket {
+	return &q.buckets[at%uint64(len(q.buckets))]
+}
+
+// enqueue parks a deep copy of m for arrival at round at. The caller
+// guarantees now < at <= now+maxDelay, so the target bucket can never be
+// the one currently draining.
+func (q *inflightQueue) enqueue(m proto.Message, at uint64) {
+	b := q.bucket(at)
+	k := len(b.msgs)
+	if k == len(b.slots) {
+		b.slots = append(b.slots, new(flSlot)) // warmup growth only
+	}
+	b.msgs = append(b.msgs, b.slots[k].copyMessage(m))
+}
+
+// drain returns the messages arriving at round now, in enqueue order, and
+// empties the bucket. The returned slice (and the slot storage behind it)
+// stays valid until the ring wraps back to this bucket — at least maxDelay
+// rounds — but consumers must finish with it within the round, exactly
+// like any other recycled round buffer; PoisonRecycled enforces that by
+// poisoning the drained slots at the end of the round.
+func (q *inflightQueue) drain(now uint64) []proto.Message {
+	b := q.bucket(now)
+	msgs := b.msgs
+	b.msgs = b.msgs[:0]
+	return msgs
+}
+
+// poisonDrained overwrites the slot storage of the bucket drained at round
+// now with sentinel values (see poisonMessages): any consumer still
+// holding an arrival past its round diverges loudly instead of reading
+// stale data. Future buckets are untouched — their contents are live.
+func (q *inflightQueue) poisonDrained(now uint64) {
+	b := q.bucket(now)
+	for _, s := range b.slots {
+		poisonGossip(&s.gossip)
+		for i := range s.request {
+			s.request[i] = poisonEventID
+		}
+		for i := range s.reply {
+			s.reply[i] = proto.Event{ID: poisonEventID}
+		}
+		for i := range s.hops {
+			s.hops[i] = ^uint32(0)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/stats"
 )
 
@@ -25,6 +26,9 @@ type MatrixSpec struct {
 	// Taus are the crashed fractions τ (the churn dimension: processes
 	// failing mid-run). Default: {0.01}.
 	Taus []float64
+	// Delays are fixed per-message delivery delays in rounds (the network
+	// latency dimension; fault.FixedDelay). Default: {0}.
+	Delays []int
 	// Protocols are the broadcast algorithms to compare. Default:
 	// {Lpbcast}.
 	Protocols []Protocol
@@ -55,6 +59,9 @@ func (s MatrixSpec) withDefaults() MatrixSpec {
 	if len(s.Protocols) == 0 {
 		s.Protocols = []Protocol{Lpbcast}
 	}
+	if len(s.Delays) == 0 {
+		s.Delays = []int{0}
+	}
 	if s.Rounds <= 0 {
 		s.Rounds = 10
 	}
@@ -76,6 +83,7 @@ type MatrixCell struct {
 	Fanout   int
 	Epsilon  float64
 	Tau      float64
+	Delay    int // fixed delivery delay in rounds (0 = same-round)
 	Protocol Protocol
 	// Result is the averaged infection trace for this configuration.
 	Result InfectionResult
@@ -85,9 +93,14 @@ type MatrixCell struct {
 }
 
 // Name returns a compact label for the cell's configuration, without the
-// system size (which tables use as the X axis).
+// system size (which tables use as the X axis). The delay dimension only
+// appears when it is in play, keeping flat-network sweeps unchanged.
 func (c MatrixCell) Name() string {
-	return fmt.Sprintf("%s,F=%d,eps=%g,tau=%g", c.Protocol, c.Fanout, c.Epsilon, c.Tau)
+	name := fmt.Sprintf("%s,F=%d,eps=%g,tau=%g", c.Protocol, c.Fanout, c.Epsilon, c.Tau)
+	if c.Delay != 0 {
+		name += fmt.Sprintf(",d=%d", c.Delay)
+	}
+	return name
 }
 
 // cellOptions builds the cluster options of one grid point. The seed mixes
@@ -100,6 +113,12 @@ func cellOptions(spec MatrixSpec, cell MatrixCell, idx int) Options {
 	o.Tau = cell.Tau
 	o.Protocol = cell.Protocol
 	o.Workers = spec.Workers
+	// Any nonzero delay — negative included — goes through the model so
+	// that Options.Validate rejects bad values with the cell's name
+	// attached, instead of a typo silently sweeping a flat network.
+	if cell.Delay != 0 {
+		o.Delay = fault.FixedDelay{Rounds: cell.Delay}
+	}
 	switch cell.Protocol {
 	case Lpbcast:
 		o.Lpbcast.Fanout = cell.Fanout
@@ -127,10 +146,12 @@ func RunMatrix(spec MatrixSpec) ([]MatrixCell, error) {
 		for _, f := range spec.Fanouts {
 			for _, eps := range spec.Epsilons {
 				for _, tau := range spec.Taus {
-					for _, n := range spec.Ns {
-						cells = append(cells, MatrixCell{
-							N: n, Fanout: f, Epsilon: eps, Tau: tau, Protocol: p,
-						})
+					for _, d := range spec.Delays {
+						for _, n := range spec.Ns {
+							cells = append(cells, MatrixCell{
+								N: n, Fanout: f, Epsilon: eps, Tau: tau, Delay: d, Protocol: p,
+							})
+						}
 					}
 				}
 			}

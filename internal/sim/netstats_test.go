@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/fault"
 	"repro/internal/proto"
+	"repro/internal/rng"
 )
 
 // Regression tests for the dispatch accounting fixes: the maxChase cut-off
@@ -13,11 +15,16 @@ import (
 // bypassed NetStats and the loss model entirely.
 
 // assertConserved checks the NetStats invariant: every message that
-// reached the network is in exactly one outcome counter.
+// reached the network is in exactly one outcome counter or still in
+// flight, and late deliveries are a subset of deliveries.
 func assertConserved(t *testing.T, s NetStats) {
 	t.Helper()
-	if got := s.Delivered + s.Dropped + s.ToCrashed + s.UnknownDest; got != s.Sent {
-		t.Errorf("counters not conserved: Delivered+Dropped+ToCrashed+UnknownDest = %d, Sent = %d (%+v)", got, s.Sent, s)
+	got := s.Delivered + s.Dropped + s.ToCrashed + s.UnknownDest + s.DroppedInPartition + s.InFlight
+	if got != s.Sent {
+		t.Errorf("counters not conserved: Delivered+Dropped+ToCrashed+UnknownDest+DroppedInPartition+InFlight = %d, Sent = %d (%+v)", got, s.Sent, s)
+	}
+	if s.DeliveredLate > s.Delivered {
+		t.Errorf("DeliveredLate %d exceeds Delivered %d (%+v)", s.DeliveredLate, s.Delivered, s)
 	}
 }
 
@@ -201,6 +208,81 @@ func TestFirstPhaseAccounted(t *testing.T) {
 		}
 		assertConserved(t, s)
 	})
+}
+
+// TestBurstLossWithScheduledCrashes is the combined property test for two
+// failure models that had never run together: a Gilbert–Elliott burst
+// channel as the loss model and explicitly scheduled crashes, on top of a
+// one-round delay (so the arrival-time crash re-check is exercised too).
+// The classifier must keep every message in exactly one outcome counter —
+// no double counts between the burst drop, the crash filter, and the
+// in-flight settling — and the sequential and sharded executors must agree
+// on every counter in both regimes.
+func TestBurstLossWithScheduledCrashes(t *testing.T) {
+	t.Parallel()
+	for _, async := range []bool{false, true} {
+		async := async
+		t.Run(fmt.Sprintf("async=%v", async), func(t *testing.T) {
+			t.Parallel()
+			run := func(workers int) (NetStats, float64) {
+				opts := DefaultOptions(120)
+				opts.Seed = 13
+				opts.Epsilon = 0 // loss comes from the burst channel below
+				opts.Tau = 0     // crashes are scheduled explicitly below
+				opts.Async = async
+				opts.Workers = workers
+				opts.Horizon = 10
+				opts.Lpbcast.AssumeFromDigest = true
+				opts.Delay = fault.FixedDelay{Rounds: 1}
+				c, err := NewCluster(opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer c.Close()
+				// Identical burst channel and crash schedule in every
+				// executor: a bursty WAN plus twelve mid-run crashes.
+				c.loss = fault.NewBurst(0.02, 0.8, 0.02, 0.2, rng.New(77))
+				for i := 0; i < 12; i++ {
+					c.crashes.CrashAt(c.ids[(i*9)%120], uint64(2+i%6))
+				}
+				if _, err := c.PublishAt(0); err != nil {
+					t.Fatal(err)
+				}
+				for r := 0; r < 10; r++ {
+					c.RunRound()
+					assertConserved(t, c.NetStats())
+				}
+				s := c.NetStats()
+				infected := float64(c.DeliveredCount(eventAt(c)))
+				return s, infected
+			}
+			seqStats, seqInf := run(0)
+			parStats, parInf := run(4)
+			if seqStats != parStats || seqInf != parInf {
+				t.Errorf("executors diverge:\nseq: %+v infected=%v\npar: %+v infected=%v",
+					seqStats, seqInf, parStats, parInf)
+			}
+			if seqStats.Dropped == 0 {
+				t.Errorf("burst channel dropped nothing: %+v", seqStats)
+			}
+			if seqStats.ToCrashed == 0 {
+				t.Errorf("scheduled crashes absorbed nothing: %+v", seqStats)
+			}
+			if seqStats.DeliveredLate == 0 {
+				t.Errorf("fixed delay produced no late deliveries: %+v", seqStats)
+			}
+		})
+	}
+}
+
+// eventAt returns the single traced event id of a cluster that published
+// exactly once at process 1.
+func eventAt(c *Cluster) proto.EventID {
+	ids := c.rec.eventIDs()
+	if len(ids) != 1 {
+		panic(fmt.Sprintf("expected exactly one event, got %d", len(ids)))
+	}
+	return ids[0]
 }
 
 // TestNetStatsConservedUnderLoad: a realistic lossy, crashy, retransmitting

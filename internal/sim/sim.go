@@ -121,13 +121,60 @@ type Options struct {
 	Workers int
 	// PoisonRecycled is a debug mode of the sharded executor: at the end
 	// of every round (or async period) the recycled emission buffers (the
-	// shared tick gossips and the executor's outbox/response slots) are
-	// overwritten with sentinel values, so any consumer that still aliases
-	// them past the round diverges loudly from the sequential executor
-	// instead of reading stale data silently. Results must be identical
-	// with the flag on — the reuse property tests assert this. No effect
-	// when the rounds run sequentially.
+	// shared tick gossips, the executor's outbox/response slots, and the
+	// drained in-flight delay bucket) are overwritten with sentinel
+	// values, so any consumer that still aliases them past the round
+	// diverges loudly from the sequential executor instead of reading
+	// stale data silently. Results must be identical with the flag on —
+	// the reuse property tests assert this. No effect when the rounds run
+	// sequentially.
 	PoisonRecycled bool
+	// EmissionReuse opts the sequential executors into the engines'
+	// zero-alloc append emission paths with recycled buffers — the mode
+	// the sharded executors always run in. Results are bit-for-bit
+	// identical either way (the reuse equivalence tests assert it); the
+	// default off keeps the sequential references on the independently
+	// allocating clone paths, which is what makes them a meaningful
+	// oracle for the recycling executors. Ignored when Workers > 1.
+	EmissionReuse bool
+	// Delay is the network delay model: how many whole rounds (periods) a
+	// surviving message spends in flight before delivery (see
+	// fault.DelayModel). nil with no Topology means every message arrives
+	// in its send round, the paper's §5.1 semantics. When a Topology is
+	// set and Delay is nil, the topology's per-link-class delay profiles
+	// apply (fault.TopologyDelay); an explicit Delay overrides them.
+	Delay fault.DelayModel
+	// Topology assigns every (src, dst) link a class with its own loss
+	// probability and delay range (fault.Topology): two-cluster LAN/WAN
+	// splits, hierarchical site structures, or Uniform. When set, it
+	// replaces the flat Bernoulli ε with per-link loss (profiles with a
+	// negative Epsilon inherit the global ε) and — unless Delay overrides
+	// — drives per-link delays. Partition classes refer to this topology.
+	Topology fault.Topology
+	// Partitions schedules link cuts: during each partition's [From, To)
+	// round window, messages sent across the named link classes are
+	// dropped (NetStats.DroppedInPartition); at To the partition heals.
+	// Windows cutting the same class must not overlap, and must start
+	// inside the horizon when one is set (Validate enforces both).
+	Partitions []fault.Partition
+}
+
+// maxDelayBound caps a delay model's MaxDelay: the in-flight ring is
+// pre-sized to MaxDelay+1 buckets, so the bound keeps a misconfigured
+// model from allocating an absurd ring.
+const maxDelayBound = 4096
+
+// effectiveDelay resolves the delay model in force: an explicit Delay
+// wins, a Topology with any nonzero delay profile implies the
+// topology-backed model, and nil means the zero-delay fast path.
+func (o Options) effectiveDelay() fault.DelayModel {
+	if o.Delay != nil {
+		return o.Delay
+	}
+	if o.Topology != nil && fault.MaxLinkDelay(o.Topology) > 0 {
+		return fault.TopologyDelay{T: o.Topology}
+	}
+	return nil
 }
 
 // DefaultOptions returns the paper's standard simulation setup for n
@@ -160,6 +207,30 @@ func (o Options) Validate() error {
 	if o.WarmupRounds < 0 {
 		return fmt.Errorf("sim: WarmupRounds %d must be non-negative", o.WarmupRounds)
 	}
+	if o.Delay != nil {
+		if err := o.Delay.Validate(); err != nil {
+			return fmt.Errorf("sim: delay model: %w", err)
+		}
+	}
+	if o.Topology != nil {
+		if err := o.Topology.Validate(); err != nil {
+			return fmt.Errorf("sim: topology: %w", err)
+		}
+	}
+	if d := o.effectiveDelay(); d != nil {
+		if max := d.MaxDelay(); max < 0 || max > maxDelayBound {
+			return fmt.Errorf("sim: delay model MaxDelay %d outside [0,%d]", max, maxDelayBound)
+		}
+	}
+	if len(o.Partitions) > 0 {
+		classes := 1
+		if o.Topology != nil {
+			classes = o.Topology.Classes()
+		}
+		if err := fault.ValidatePartitions(o.Partitions, classes, o.Horizon); err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
+	}
 	switch o.Protocol {
 	case Lpbcast:
 		return o.Lpbcast.Validate()
@@ -172,15 +243,27 @@ func (o Options) Validate() error {
 
 // NetStats counts network-level activity during a run. Every message that
 // reaches the network is counted in Sent and in exactly one of Delivered,
-// Dropped, ToCrashed, or UnknownDest (so Sent is always their sum);
-// TruncatedChase counts messages that never reached the network because
-// the same-round response cascade hit the maxChase safety valve.
+// Dropped, ToCrashed, UnknownDest, or DroppedInPartition — or is waiting
+// in the delay queue and counted in InFlight — so Sent is always the sum
+// of those five outcome counters plus InFlight. TruncatedChase counts
+// messages that never reached the network because the same-round response
+// cascade hit the maxChase safety valve.
 type NetStats struct {
 	Sent        uint64
-	Dropped     uint64 // lost to Bernoulli ε (or first-phase unreliability)
-	ToCrashed   uint64 // addressed to a crashed process
+	Dropped     uint64 // lost to loss-model ε (or first-phase unreliability)
+	ToCrashed   uint64 // addressed to a (by arrival time) crashed process
 	UnknownDest uint64 // addressed to a PID outside the cluster
 	Delivered   uint64
+	// DeliveredLate is the subset of Delivered that spent at least one
+	// round in the in-flight delay queue before arriving.
+	DeliveredLate uint64
+	// DroppedInPartition counts messages sent across a link class cut by
+	// a scheduled Partition at send time.
+	DroppedInPartition uint64
+	// InFlight is the number of messages currently parked in the delay
+	// queue: already Sent, not yet settled into an outcome counter. At
+	// the end of a run it counts deliveries the horizon cut off.
+	InFlight uint64
 	// TruncatedChase counts messages still queued when a round's response
 	// cascade hit the maxChase hop cap and was cut off; they were
 	// discarded before any loss or crash filtering.
@@ -195,6 +278,13 @@ type Cluster struct {
 	index     map[proto.ProcessID]int
 	loss      fault.LossModel
 	crashes   *fault.CrashSchedule
+	topo      fault.Topology    // nil: flat network, every link LinkLocal
+	delay     fault.DelayModel  // nil: zero-delay fast path
+	delayRNG  *rng.Source       // delay jitter stream (delay != nil only)
+	fl        *inflightQueue    // delayed-message ring (delay != nil only)
+	maxDelay  int               // the delay model's declared bound
+	parts     []fault.Partition // scheduled link cuts
+	hasParts  bool
 	rec       *recorder
 	tickRNG   *rng.Source
 	mcastRNG  *rng.Source
@@ -203,6 +293,15 @@ type Cluster struct {
 	deliverFn func(owner proto.ProcessID, ev proto.Event)
 	par       *shardedExecutor // non-nil when Workers > 1
 	seqAsync  *asyncSeq        // sequential wavefront scratch (Async, Workers <= 1)
+	// seqQueue/seqNext are the sequential synchronous executor's retained
+	// hop buffers; with EmissionReuse they make a steady round
+	// allocation-free, without it they just recycle envelope capacity.
+	seqQueue, seqNext []proto.Message
+	// arrivalDests holds the destination indices of the current round's
+	// drained arrivals (parallel to the queue's pre-filtered prefix),
+	// retained across rounds; the sequential and sharded synchronous
+	// dispatchers both read it for positions before pre.
+	arrivalDests []int
 }
 
 // NewCluster builds a cluster of n processes with uniformly random initial
@@ -214,14 +313,32 @@ func NewCluster(opts Options) (*Cluster, error) {
 	}
 	root := rng.New(opts.Seed)
 	c := &Cluster{
-		opts:     opts,
-		index:    make(map[proto.ProcessID]int, opts.N),
-		loss:     fault.NewBernoulli(opts.Epsilon, root.Split()),
-		crashes:  fault.NewCrashSchedule(),
-		rec:      newRecorder(opts.N),
-		tickRNG:  root.Split(),
-		mcastRNG: root.Split(),
+		opts:    opts,
+		index:   make(map[proto.ProcessID]int, opts.N),
+		topo:    opts.Topology,
+		crashes: fault.NewCrashSchedule(),
+		rec:     newRecorder(opts.N),
 	}
+	// Stream discipline: the root splits happen in a fixed order that
+	// depends only on the options, never on the executor, so sequential
+	// and sharded runs of the same options share every stream. The delay
+	// stream is split only when a delay model is in force, keeping
+	// zero-delay runs bit-identical to pre-delay versions.
+	if c.topo != nil {
+		c.loss = fault.NewTopologyLoss(c.topo, opts.Epsilon, root.Split())
+	} else {
+		c.loss = fault.NewBernoulli(opts.Epsilon, root.Split())
+	}
+	c.tickRNG = root.Split()
+	c.mcastRNG = root.Split()
+	if d := opts.effectiveDelay(); d != nil {
+		c.delay = d
+		c.delayRNG = root.Split()
+		c.maxDelay = d.MaxDelay()
+		c.fl = newInflight(c.maxDelay)
+	}
+	c.parts = opts.Partitions
+	c.hasParts = len(c.parts) > 0
 	c.deliverFn = func(owner proto.ProcessID, ev proto.Event) { c.rec.record(owner, ev) }
 
 	for i := 0; i < opts.N; i++ {
@@ -263,6 +380,17 @@ func NewCluster(opts Options) (*Cluster, error) {
 			return nil, fmt.Errorf("sim: process %v: %w", pid, err)
 		}
 		c.procs = append(c.procs, p)
+	}
+
+	// EmissionReuse flips the sequential executors onto the recycling
+	// append paths; the sharded executor opts engines in regardless (see
+	// newShardedExecutor), so this only matters for Workers <= 1.
+	if opts.EmissionReuse {
+		for _, p := range c.procs {
+			if er, ok := p.(emissionReuser); ok {
+				er.SetEmissionReuse(true)
+			}
+		}
 	}
 
 	if opts.Tau > 0 {
@@ -340,15 +468,20 @@ const maxChase = 16
 
 // RunRound advances the simulation one gossip period.
 //
-// In synchronous mode (the default, matching §5.1 and the analysis), every
-// alive process first emits its periodic gossip; then the network applies
-// loss and crash filtering and receivers process messages, so information
-// travels exactly one hop per round. Same-round responses (e.g. pbcast
-// solicitations) are chased until the wire drains.
+// In synchronous mode (the default, matching §5.1 and the analysis), any
+// delayed messages due this round arrive first (drained from the in-flight
+// ring in their deterministic enqueue order); then every alive process
+// emits its periodic gossip, the network applies partition, loss, crash
+// and delay filtering, and receivers process the round's arrivals and
+// surviving same-round messages, so information travels exactly one hop
+// per round plus whatever the delay model adds. Same-round responses
+// (e.g. pbcast solicitations) are chased until the wire drains.
 //
 // In Async mode, processes tick once per period in a random order and a
 // receiver that has not yet ticked forwards fresh information within the
-// same period, as in the paper's unsynchronized testbed. Periods run the
+// same period, as in the paper's unsynchronized testbed. Delayed arrivals
+// are handled at the top of the period, before any tick composes, so an
+// arrival is visible to every tick of its arrival period. Periods run the
 // deterministic wavefront schedule (async.go): sequentially for
 // Workers <= 1, sharded across the worker pool otherwise, with results
 // bit-for-bit identical either way.
@@ -366,28 +499,49 @@ func (c *Cluster) RunRound() {
 		c.par.runRound()
 		return
 	}
-	var queue []proto.Message
+	queue := c.seqQueue[:0]
+	pre := 0
+	if c.fl != nil {
+		queue, c.arrivalDests = c.drainArrivals(queue, c.arrivalDests[:0])
+		pre = len(queue)
+	}
+	reuse := c.opts.EmissionReuse
 	for i := range c.procs {
 		if c.crashes.Crashed(c.ids[i], c.now) {
 			continue
 		}
-		queue = append(queue, c.procs[i].Tick(c.now)...)
+		if reuse {
+			queue = tickAppend(c.procs[i], c.now, queue)
+		} else {
+			queue = append(queue, c.procs[i].Tick(c.now)...)
+		}
 	}
-	c.dispatch(queue)
+	c.seqQueue = queue
+	c.dispatch(pre)
 }
 
-// classify runs one message through the network's crash and loss
-// filtering and updates the counters: the message lands in Sent plus
-// exactly one of UnknownDest, ToCrashed, Dropped, or Delivered. It
-// returns the destination's process index and whether the message
-// survived. Every executor and both regimes route messages through this
-// single helper, so the accounting (and the loss stream's draw-per-
+// classify runs one message through the network's partition, crash, loss,
+// and delay filtering and updates the counters: the message lands in Sent
+// plus exactly one of UnknownDest, DroppedInPartition, ToCrashed, Dropped,
+// or Delivered — or enters the in-flight delay ring and is counted in
+// InFlight until its arrival round settles it. It returns the
+// destination's process index and whether the message is deliverable right
+// now. Every executor and both regimes route messages through this single
+// helper, so the accounting (and the loss and delay streams' draw-per-
 // message discipline) cannot drift between them.
+//
+// Filter order is part of the model: a cut link swallows traffic before
+// the destination's liveness is consulted, loss applies only to traffic
+// that could physically arrive, and only surviving messages draw a delay.
 func (c *Cluster) classify(m proto.Message) (int, bool) {
 	c.net.Sent++
 	di, ok := c.index[m.To]
 	if !ok {
 		c.net.UnknownDest++
+		return -1, false
+	}
+	if c.hasParts && fault.CutLink(c.parts, c.linkClass(m.From, m.To), c.now) {
+		c.net.DroppedInPartition++
 		return -1, false
 	}
 	if c.crashes.Crashed(m.To, c.now) {
@@ -398,26 +552,98 @@ func (c *Cluster) classify(m proto.Message) (int, bool) {
 		c.net.Dropped++
 		return -1, false
 	}
+	if c.delay != nil {
+		d := c.delay.Delay(m.From, m.To, c.now, c.delayRNG)
+		if d < 0 || d > c.maxDelay {
+			// A model returning a negative delay or more than its declared
+			// MaxDelay would silently skew results or corrupt the ring;
+			// fail loudly instead.
+			panic(fmt.Sprintf("sim: delay %d outside the model's [0, MaxDelay=%d]", d, c.maxDelay))
+		}
+		if d > 0 {
+			c.fl.enqueue(m, c.now+uint64(d))
+			c.net.InFlight++
+			return -1, false
+		}
+	}
 	c.net.Delivered++
 	return di, true
 }
 
-// dispatch delivers queued messages, chasing same-round responses.
-func (c *Cluster) dispatch(queue []proto.Message) {
-	for hop := 0; len(queue) > 0 && hop < maxChase; hop++ {
-		var next []proto.Message
-		for _, m := range queue {
-			di, ok := c.classify(m)
-			if !ok {
-				continue
-			}
-			next = append(next, c.procs[di].HandleMessage(m, c.now)...)
+// linkClass resolves the class of a link under the configured topology;
+// without one, every link is LinkLocal.
+func (c *Cluster) linkClass(src, dst proto.ProcessID) fault.LinkClass {
+	if c.topo != nil {
+		return c.topo.Class(src, dst)
+	}
+	return fault.LinkLocal
+}
+
+// arrive settles one in-flight message at its arrival round: the message
+// leaves InFlight and lands in ToCrashed (the destination crashed while it
+// was in the air) or Delivered (+DeliveredLate). Partition, loss, and
+// unknown-destination filtering already happened at send time in classify,
+// and none of it draws randomness here, so arrivals perturb no stream.
+func (c *Cluster) arrive(m proto.Message) (int, bool) {
+	c.net.InFlight--
+	if c.crashes.Crashed(m.To, c.now) {
+		c.net.ToCrashed++
+		return -1, false
+	}
+	c.net.Delivered++
+	c.net.DeliveredLate++
+	return c.index[m.To], true
+}
+
+// drainArrivals empties the in-flight bucket of the current round in its
+// deterministic enqueue order, settles each message's accounting, and
+// appends the survivors to msgs and their destination process indices to
+// dests. Both regimes and all executors drain through this one helper at
+// the top of each round/period.
+func (c *Cluster) drainArrivals(msgs []proto.Message, dests []int) ([]proto.Message, []int) {
+	for _, m := range c.fl.drain(c.now) {
+		if di, ok := c.arrive(m); ok {
+			msgs = append(msgs, m)
+			dests = append(dests, di)
 		}
-		queue = next
+	}
+	return msgs, dests
+}
+
+// dispatch delivers the round's queue (c.seqQueue), chasing same-round
+// responses. The first pre messages of the queue are this round's delayed
+// arrivals: they already passed send-time filtering and arrival
+// accounting, so they skip classify and go straight to their receivers —
+// in queue order, ahead of the round's fresh traffic, matching the
+// sharded executor's merge order exactly.
+func (c *Cluster) dispatch(pre int) {
+	queue, next := c.seqQueue, c.seqNext
+	reuse := c.opts.EmissionReuse
+	for hop := 0; len(queue) > 0 && hop < maxChase; hop++ {
+		next = next[:0]
+		for pos, m := range queue {
+			var di int
+			if pos < pre {
+				di = c.arrivalDests[pos] // pre-filtered arrival
+			} else {
+				var ok bool
+				if di, ok = c.classify(m); !ok {
+					continue
+				}
+			}
+			if reuse {
+				next = handleAppend(c.procs[di], m, c.now, next)
+			} else {
+				next = append(next, c.procs[di].HandleMessage(m, c.now)...)
+			}
+		}
+		queue, next = next, queue
+		pre = 0
 	}
 	// Responses still queued when the chase cap hit would otherwise vanish
 	// without a trace; account for them so the counters stay conservative.
 	c.net.TruncatedChase += uint64(len(queue))
+	c.seqQueue, c.seqNext = queue, next
 }
 
 // PublishAt publishes a fresh event at process index i (0-based) through
@@ -440,10 +666,16 @@ func (c *Cluster) PublishAt(i int) (proto.Event, error) {
 				}
 				// Each receiver's copy of the first-phase multicast is a
 				// real message: it is counted in Sent and runs through the
-				// same crash filtering and accounting as gossip traffic,
-				// with the phase's own unreliability applied first and the
-				// network loss model ε on top.
+				// same partition and crash filtering and accounting as
+				// gossip traffic, with the phase's own unreliability
+				// applied first and the network loss model ε on top. Only
+				// the delay model is exempt — the first phase stands in
+				// for IP multicast and is modeled as instantaneous.
 				c.net.Sent++
+				if c.hasParts && fault.CutLink(c.parts, c.linkClass(c.ids[i], c.ids[j]), c.now) {
+					c.net.DroppedInPartition++
+					continue
+				}
 				if c.crashes.Crashed(c.ids[j], c.now) {
 					c.net.ToCrashed++
 					continue
