@@ -37,8 +37,10 @@ import (
 	"time"
 
 	lpbcast "repro"
+	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/proto"
+	"repro/internal/pubsub"
 	"repro/internal/sim"
 	"repro/internal/transport"
 )
@@ -329,6 +331,8 @@ func executorSuite(quick bool) []benchCase {
 		// allocating in steady state.
 		steady(0, 2, false, true),
 		steady(benchWorkers(), 2, false, true),
+		pubsubSteadyCase(quick),
+		pubsubInfectionCase(quick),
 		{
 			name: fmt.Sprintf("executor/infection/n=%d/workers=max", infectionN),
 			gate: true, maxAllocs: -1,
@@ -347,6 +351,88 @@ func executorSuite(quick bool) []benchCase {
 				}
 				b.ReportMetric(infected, "infected@round12")
 			},
+		},
+	}
+}
+
+// pubsubSteadyCase measures one quiescent round of a warmed multi-topic
+// pubsub.Bus: every topic's lpbcast instance ticks, gossip fans out
+// through the shared routing path, and the retained queue/tally buffers
+// absorb the traffic. The absolute two-alloc ceiling is the pub/sub
+// acceptance criterion — the Bus must stay on the zero-alloc executor
+// discipline even when the round spans many topic groups.
+func pubsubSteadyCase(quick bool) benchCase {
+	topics, subs, warm := 16, 400, 40
+	if quick {
+		topics, subs, warm = 8, 80, 20
+	}
+	var bus *pubsub.Bus // built once, reused across b.N scaling runs
+	return benchCase{
+		name:      fmt.Sprintf("executor/pubsub-steady-round/topics=%d/n=%d", topics, subs),
+		gate:      true,
+		maxAllocs: 2,
+		fn: func(b *testing.B) {
+			if bus == nil {
+				var err error
+				bus, err = pubsub.NewBus(pubsub.Config{Seed: 7})
+				if err != nil {
+					b.Fatal(err)
+				}
+				w := pubsub.Workload{Topics: topics, Subscribers: subs, S: 1.0, Seed: 5}
+				if _, err := w.Deploy(bus, nil); err != nil {
+					b.Fatal(err)
+				}
+				bus.StepN(warm)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bus.Step()
+			}
+			b.StopTimer()
+			if err := bus.TotalNetStats().Conserved(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(topics), "topics")
+		},
+	}
+}
+
+// pubsubInfectionCase runs the full Zipf-popularity dissemination
+// experiment: subscribers spread over topic groups by popularity rank,
+// one event published on the hottest topic, infection traced until it
+// saturates the group. Gated relative to its own baseline only — the
+// experiment allocates by design (fresh Bus per repetition).
+func pubsubInfectionCase(quick bool) benchCase {
+	topics, subs := 16, 2_000
+	if quick {
+		topics, subs = 8, 200
+	}
+	return benchCase{
+		name:      fmt.Sprintf("executor/pubsub-infection/topics=%d/n=%d", topics, subs),
+		gate:      true,
+		maxAllocs: -1,
+		fn: func(b *testing.B) {
+			opts := sim.TopicOptions{
+				Subscribers:  subs,
+				Topics:       topics,
+				ZipfS:        1.0,
+				Seed:         3,
+				Epsilon:      0.01,
+				WarmupRounds: 5,
+			}
+			opts.Engine = core.DefaultConfig()
+			opts.Engine.AssumeFromDigest = true
+			var infected, population float64
+			for i := 0; i < b.N; i++ {
+				res, err := sim.TopicExperiment(opts, 12, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				infected = res.PerRound[len(res.PerRound)-1]
+				population = float64(res.Population)
+			}
+			b.ReportMetric(infected, "infected@round12")
+			b.ReportMetric(population, "hot-topic-subs")
 		},
 	}
 }

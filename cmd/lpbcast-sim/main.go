@@ -15,8 +15,10 @@
 // The -matrix flag runs a scenario sweep instead of the figures: a
 // semicolon-separated grid of n (system sizes), f (fanouts), eps (loss
 // probabilities), tau (crash fractions), delay (fixed per-message delivery
-// delays in rounds), proto (lpbcast, pbcast/partial, pbcast/total),
-// rounds, repeats and seed. Cells run concurrently and the sweep is
+// delays in rounds), topics (pub/sub topic counts — cells with topics > 1
+// run a Zipf-popularity pubsub workload and trace the hottest topic),
+// proto (lpbcast, pbcast/partial, pbcast/total), rounds, repeats and
+// seed. Cells run concurrently and the sweep is
 // deterministic for a given spec. The "latency" figure compares infection
 // latency across network topologies (flat, two-cluster WAN, hierarchical).
 package main
@@ -152,6 +154,8 @@ func parseMatrixSpec(s string) (sim.MatrixSpec, error) {
 			spec.Taus, err = parseFloats(vals)
 		case "delay":
 			spec.Delays, err = parseInts(vals)
+		case "topics":
+			spec.Topics, err = parseInts(vals)
 		case "proto":
 			spec.Protocols, err = parseProtocols(vals)
 		case "rounds":
@@ -163,7 +167,7 @@ func parseMatrixSpec(s string) (sim.MatrixSpec, error) {
 			seed, err = parseSingleInt(key, vals)
 			spec.Seed = uint64(seed)
 		default:
-			return spec, fmt.Errorf("matrix: unknown key %q (want n, f, eps, tau, delay, proto, rounds, repeats, seed)", key)
+			return spec, fmt.Errorf("matrix: unknown key %q (want n, f, eps, tau, delay, topics, proto, rounds, repeats, seed)", key)
 		}
 		if err != nil {
 			return spec, err

@@ -28,9 +28,16 @@ func TestRunMatrix(t *testing.T) {
 	}
 }
 
+func TestRunMatrixTopics(t *testing.T) {
+	t.Parallel()
+	if err := run([]string{"-matrix", "n=80;f=3;eps=0.01;topics=8;rounds=10;repeats=1"}); err != nil {
+		t.Fatalf("run(-matrix topics): %v", err)
+	}
+}
+
 func TestParseMatrixSpec(t *testing.T) {
 	t.Parallel()
-	spec, err := parseMatrixSpec("n=125,250; f=3,4; eps=0.05; tau=0.01; proto=lpbcast,pbcast/total; rounds=8; repeats=2; seed=7")
+	spec, err := parseMatrixSpec("n=125,250; f=3,4; eps=0.05; tau=0.01; topics=1,16; proto=lpbcast,pbcast/total; rounds=8; repeats=2; seed=7")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,6 +46,7 @@ func TestParseMatrixSpec(t *testing.T) {
 		Fanouts:   []int{3, 4},
 		Epsilons:  []float64{0.05},
 		Taus:      []float64{0.01},
+		Topics:    []int{1, 16},
 		Protocols: []sim.Protocol{sim.Lpbcast, sim.PbcastTotal},
 		Rounds:    8,
 		Repeats:   2,

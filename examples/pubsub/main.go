@@ -1,11 +1,21 @@
 // Pub/sub: the application the paper built lpbcast for (topic-based
 // publish/subscribe, §1 and ref [8]).
 //
-// A market-data fan-out: traders subscribe to instrument topics, a feed
-// publishes ticks, and each topic is an independent lpbcast group with its
-// own gossip-managed membership. One trader unsubscribes mid-stream and
-// stops receiving — the group's views forget it through the normal
-// unsubscription piggyback. Run with:
+// A market-data fan-out across two trading sites: traders subscribe to
+// instrument topics, a feed publishes ticks, and each topic is an
+// independent lpbcast group with its own gossip-managed membership —
+// all riding one bus with a shared fault model. The bus runs a
+// two-cluster topology (the second site reaches the first over a lossy
+// 1-2 round WAN link), and a scheduled partition cuts the WAN
+// mid-stream; gossip retransmissions repair the gap when it heals. One
+// trader unsubscribes mid-stream and stops receiving — the group's
+// views forget it through the normal unsubscription piggyback. The
+// per-topic network counters (delivered, dropped, cut by the
+// partition, delivered late) come out conserved at the end.
+//
+// A second, smaller scene deploys a Zipf-popularity workload: many
+// topics, subscriptions concentrated on the hot ones — the multi-tenant
+// shape lpbcast targets at scale. Run with:
 //
 //	go run ./examples/pubsub
 package main
@@ -16,6 +26,7 @@ import (
 	"os"
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/proto"
 	"repro/internal/pubsub"
 )
@@ -49,7 +60,24 @@ func main() {
 }
 
 func run() error {
-	bus := pubsub.NewBus(pubsub.Config{Seed: 7, LossProbability: 0.02})
+	// Site A holds the feed and the first traders (member ids 1..4);
+	// site B's traders reach them over a WAN link that loses more and
+	// takes 1-2 rounds. A partition cuts the WAN for rounds 14..20.
+	bus, err := pubsub.NewBus(pubsub.Config{
+		Seed:    7,
+		Epsilon: 0.02,
+		Topology: fault.TwoCluster{
+			Split: 4,
+			Local: fault.LinkProfile{Epsilon: -1},
+			WAN:   fault.LinkProfile{Epsilon: 0.10, MinDelay: 1, MaxDelay: 2},
+		},
+		Partitions: []fault.Partition{
+			{From: 14, To: 20, Classes: []fault.LinkClass{fault.LinkWAN}},
+		},
+	})
+	if err != nil {
+		return err
+	}
 	t := &tape{ticks: map[string]int{}}
 
 	// The exchange feed publishes on both instruments, so it subscribes to
@@ -61,29 +89,35 @@ func run() error {
 		}
 	}
 
-	// Traders pick their instruments.
-	traders := map[string][]string{
-		"alice": {"ACME"},
-		"bob":   {"ACME", "GLOBEX"},
-		"carol": {"GLOBEX"},
-		"dave":  {"ACME"},
+	// Traders pick their instruments; join order fixes their member ids,
+	// so alice and bob sit at site A and carol and dave at site B.
+	traders := []struct {
+		name   string
+		topics []string
+	}{
+		{"alice", []string{"ACME"}},
+		{"bob", []string{"ACME", "GLOBEX"}},
+		{"carol", []string{"GLOBEX"}},
+		{"dave", []string{"ACME"}},
 	}
 	subs := map[string]*pubsub.Subscription{}
-	for name, topics := range traders {
-		cl := bus.NewClient(name)
-		for _, topic := range topics {
-			sub, err := cl.Subscribe(topic, t.handler(name))
+	for _, tr := range traders {
+		cl := bus.NewClient(tr.name)
+		for _, topic := range tr.topics {
+			sub, err := cl.Subscribe(topic, t.handler(tr.name))
 			if err != nil {
 				return err
 			}
-			subs[name+" "+topic] = sub
+			subs[tr.name+" "+topic] = sub
 		}
 	}
 	bus.StepN(6) // memberships mix
 	fmt.Printf("topics: %v — ACME group has %d members, GLOBEX %d\n",
 		bus.Topics(), bus.TopicSize("ACME"), bus.TopicSize("GLOBEX"))
 
-	// First trading session: 10 ticks per instrument.
+	// First trading session: 10 ticks per instrument, straddling the
+	// partition window — WAN traffic published during it is cut, and the
+	// retransmission machinery fills site B in after it heals.
 	for i := 0; i < 10; i++ {
 		if _, err := feed.Publish("ACME", []byte(fmt.Sprintf("ACME @ %d", 100+i))); err != nil {
 			return err
@@ -93,11 +127,11 @@ func run() error {
 		}
 		bus.Step()
 	}
-	bus.StepN(10) // drain
+	bus.StepN(10) // drain: the partition heals and gossip catches up
 
 	fmt.Println("after session 1:")
-	for _, who := range []string{"alice", "bob", "carol", "dave"} {
-		fmt.Printf("  %-6s ACME=%2d GLOBEX=%2d\n", who, t.count(who, "ACME"), t.count(who, "GLOBEX"))
+	for _, tr := range traders {
+		fmt.Printf("  %-6s ACME=%2d GLOBEX=%2d\n", tr.name, t.count(tr.name, "ACME"), t.count(tr.name, "GLOBEX"))
 	}
 
 	// Dave logs off ACME; his unsubscription gossips through the group.
@@ -124,5 +158,60 @@ func run() error {
 		return fmt.Errorf("dave received ticks after unsubscribing")
 	}
 	fmt.Println("dave received nothing after unsubscribing — views forgot him")
+
+	// Every topic keeps its own network ledger, and the books balance:
+	// sent = delivered + dropped + cut by the partition (+ in flight).
+	for _, topic := range bus.Topics() {
+		ns := bus.NetStats(topic)
+		if err := ns.Conserved(); err != nil {
+			return err
+		}
+		fmt.Printf("%-6s ledger: sent=%d delivered=%d (late %d) lost=%d cut=%d\n",
+			topic, ns.Sent, ns.Delivered, ns.DeliveredLate, ns.Dropped, ns.DroppedInPartition)
+	}
+	return zipfScene()
+}
+
+// zipfScene deploys a Zipf-popularity workload — many topics, most
+// subscribers on the hot ones — and publishes a tick on the hottest.
+func zipfScene() error {
+	bus, err := pubsub.NewBus(pubsub.Config{Seed: 11, Epsilon: 0.02})
+	if err != nil {
+		return err
+	}
+	var mu sync.Mutex
+	reached := 0
+	w := pubsub.Workload{Topics: 6, Subscribers: 48, S: 1.0, Seed: 3}
+	pop, err := w.Deploy(bus, func(rank int) pubsub.Handler {
+		if rank != 0 {
+			return nil
+		}
+		return func(string, proto.Event) {
+			mu.Lock()
+			reached++
+			mu.Unlock()
+		}
+	})
+	if err != nil {
+		return err
+	}
+	bus.StepN(5)
+	fmt.Printf("\nzipf workload over %d topics:", w.Topics)
+	for rank := range pop.TopicNames {
+		fmt.Printf(" %s=%d", pop.TopicNames[rank], pop.Size(rank))
+	}
+	fmt.Println()
+	if _, err := pop.PublishAt(0, []byte("hot tick")); err != nil {
+		return err
+	}
+	bus.StepN(12)
+	mu.Lock()
+	got := reached
+	mu.Unlock()
+	fmt.Printf("one tick on the hot topic %s reached %d of its %d subscribers\n",
+		pop.TopicNames[0], got, pop.Size(0))
+	if err := bus.TotalNetStats().Conserved(); err != nil {
+		return err
+	}
 	return nil
 }

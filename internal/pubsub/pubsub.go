@@ -4,6 +4,15 @@
 // group, unsubscribing is leaving it, and publishing disseminates a
 // notification through the topic's gossip.
 //
+// The Bus runs on the runtime-v2 seams the simulator executors use: every
+// member engine emits through the zero-alloc append paths with emission
+// reuse, all topics share one batched routing loop, and the network
+// between members is the fault package's — Bernoulli or per-link-class
+// loss, a DelayModel with a deterministic in-flight ring, and scheduled
+// Partitions. Each topic accounts its traffic in a stats.NetStats that
+// satisfies the same conservation invariant as the simulator's, including
+// TruncatedChase for responses cut off by the chase cap.
+//
 // The package is deliberately deterministic: a Bus advances in explicit
 // gossip rounds (Step), which makes the dynamic-membership behaviour easy
 // to test and to demonstrate. Wiring the same engines to live transports
@@ -20,67 +29,218 @@ import (
 	"repro/internal/fault"
 	"repro/internal/proto"
 	"repro/internal/rng"
+	"repro/internal/stats"
 )
 
-// Handler receives notifications delivered on a topic.
+// Handler receives notifications delivered on a topic. Handlers run with
+// no Bus locks held, so they may call Publish, Subscribe, or Cancel —
+// including on the client that is being delivered to.
 type Handler func(topic string, ev proto.Event)
+
+// maxDelayBound caps a delay model's MaxDelay, like the simulator's: the
+// in-flight ring is pre-sized to MaxDelay+1 buckets, so the bound keeps a
+// misconfigured model from allocating an absurd ring.
+const maxDelayBound = 4096
+
+// defaultMaxChase bounds the same-round response cascade (retransmit
+// requests triggering replies triggering requests, ...) as a safety valve
+// against protocol bugs; well-behaved engines drain in one or two hops.
+// Matches the simulator's maxChase.
+const defaultMaxChase = 16
 
 // Config shapes a Bus.
 type Config struct {
 	// Seed drives all randomness.
 	Seed uint64
-	// LossProbability applies Bernoulli loss to gossip between members.
-	LossProbability float64
+	// Epsilon is the per-message Bernoulli loss probability between
+	// members (the paper's ε), in [0, 1). With a Topology, link profiles
+	// with a negative Epsilon inherit it.
+	Epsilon float64
+	// Delay is the network delay model: how many whole rounds a surviving
+	// message spends in flight before delivery (fault.DelayModel). nil
+	// with no Topology means same-round delivery. When a Topology is set
+	// and Delay is nil, the topology's per-link-class delay profiles
+	// apply; an explicit Delay overrides them.
+	Delay fault.DelayModel
+	// Topology assigns every (src, dst) link a class with its own loss
+	// probability and delay range (fault.Topology). Member pids are
+	// assigned in subscription order starting at 1, so e.g. a TwoCluster
+	// split partitions early subscribers from late ones. Partition
+	// classes refer to this topology; nil means every link is LinkLocal.
+	Topology fault.Topology
+	// Partitions schedules link cuts: during each partition's [From, To)
+	// round window, messages sent across the named link classes are
+	// dropped (NetStats.DroppedInPartition); at To the partition heals.
+	Partitions []fault.Partition
+	// MaxChase overrides the same-round response chase cap (0 = the
+	// default 16). Responses still queued when the cap hits are counted
+	// in the topic's NetStats.TruncatedChase.
+	MaxChase int
 	// Engine is the per-member lpbcast configuration. Zero value means
 	// core.DefaultConfig with retransmission enabled (so payloads survive
 	// loss).
 	Engine core.Config
 }
 
+// effectiveDelay resolves the delay model in force, like the simulator:
+// an explicit Delay wins, a Topology with any nonzero delay profile
+// implies the topology-backed model, and nil means same-round delivery.
+func (cfg Config) effectiveDelay() fault.DelayModel {
+	if cfg.Delay != nil {
+		return cfg.Delay
+	}
+	if cfg.Topology != nil && fault.MaxLinkDelay(cfg.Topology) > 0 {
+		return fault.TopologyDelay{T: cfg.Topology}
+	}
+	return nil
+}
+
+// topicState is one topic group: its member list and its network
+// accounting. The state outlives its members — a fully-unsubscribed
+// topic keeps its NetStats — so counters never reset behind a caller's
+// back; Topics only lists topics with at least one member.
+type topicState struct {
+	name string
+	pids []proto.ProcessID
+	net  stats.NetStats
+}
+
 // Bus hosts topic groups and routes gossip between their members.
 //
 // Bus is safe for concurrent use; Step serializes protocol activity.
 type Bus struct {
-	mu      sync.Mutex
-	cfg     Config
-	root    *rng.Source
-	loss    fault.LossModel
-	now     uint64
-	nextPID proto.ProcessID
-	members map[proto.ProcessID]*member
-	topics  map[string][]proto.ProcessID
+	mu       sync.Mutex
+	cfg      Config
+	root     *rng.Source
+	loss     fault.LossModel
+	delay    fault.DelayModel // nil: same-round fast path
+	delayRNG *rng.Source      // delay jitter stream (delay != nil only)
+	fl       *delayRing       // delayed-message ring (delay != nil only)
+	maxDelay int
+	topo     fault.Topology
+	parts    []fault.Partition
+	hasParts bool
+	maxChase int
+	now      uint64
+	nextPID  proto.ProcessID
+	members  map[proto.ProcessID]*member
+	// order holds the registered pids in ascending order (pids are
+	// assigned monotonically, so append and targeted removal keep it
+	// sorted); Step ticks members in this deterministic order without
+	// sorting or allocating.
+	order  []proto.ProcessID
+	topics map[string]*topicState
+	// queue/next and their parallel tally slices are the retained hop
+	// buffers of the batched dispatch loop: tally[i] is the topic whose
+	// NetStats accounts queue[i]. Retention plus the engines' emission
+	// reuse makes a steady round allocation-free.
+	queue, next    []proto.Message
+	qTally, nTally []*topicState
+	// pending is the deferred-delivery queue: engine callbacks append
+	// here under mu, and flushLocked drains it with the lock released so
+	// handlers can reenter the Bus. delivering guards against nested
+	// flushes; flushPos tracks progress so reentrant appends are drained
+	// by the outermost flush.
+	pending    []delivery
+	flushPos   int
+	delivering bool
+	removals   []proto.ProcessID // per-Step scratch for grace-expired members
+}
+
+// delivery is one handler invocation waiting for the lock to be released.
+type delivery struct {
+	ts *topicState
+	h  Handler
+	ev proto.Event
 }
 
 // member is one (client, topic) protocol instance.
 type member struct {
 	pid     proto.ProcessID
-	topic   string
+	topic   *topicState
 	engine  *core.Engine
 	handler Handler
 	client  string
 	leaving int // grace rounds left after Cancel; 0 = active
 }
 
-// NewBus creates an empty bus.
-func NewBus(cfg Config) *Bus {
+// NewBus creates an empty bus, validating the configuration: the engine
+// config, the delay model (and its MaxDelay bound), the topology, and the
+// partition schedule (unbounded horizon — the Bus runs open-ended).
+func NewBus(cfg Config) (*Bus, error) {
 	if cfg.Engine.Fanout == 0 { // treat zero value as "use defaults"
 		cfg.Engine = core.DefaultConfig()
 		cfg.Engine.Retransmit = true
 		cfg.Engine.MaxRetransmitPerGossip = 64
 	}
+	if err := cfg.Engine.Validate(); err != nil {
+		return nil, fmt.Errorf("pubsub: engine config: %w", err)
+	}
+	if cfg.Epsilon < 0 || cfg.Epsilon >= 1 {
+		return nil, fmt.Errorf("pubsub: epsilon %v out of [0,1)", cfg.Epsilon)
+	}
+	if cfg.MaxChase < 0 {
+		return nil, fmt.Errorf("pubsub: MaxChase %d must be non-negative", cfg.MaxChase)
+	}
+	if cfg.Delay != nil {
+		if err := cfg.Delay.Validate(); err != nil {
+			return nil, fmt.Errorf("pubsub: delay model: %w", err)
+		}
+	}
+	if cfg.Topology != nil {
+		if err := cfg.Topology.Validate(); err != nil {
+			return nil, fmt.Errorf("pubsub: topology: %w", err)
+		}
+	}
+	delay := cfg.effectiveDelay()
+	if delay != nil {
+		if max := delay.MaxDelay(); max < 0 || max > maxDelayBound {
+			return nil, fmt.Errorf("pubsub: delay model MaxDelay %d outside [0,%d]", max, maxDelayBound)
+		}
+	}
+	if len(cfg.Partitions) > 0 {
+		classes := 1
+		if cfg.Topology != nil {
+			classes = cfg.Topology.Classes()
+		}
+		if err := fault.ValidatePartitions(cfg.Partitions, classes, 0); err != nil {
+			return nil, fmt.Errorf("pubsub: %w", err)
+		}
+	}
+
 	root := rng.New(cfg.Seed)
-	var loss fault.LossModel = fault.NoLoss{}
-	if cfg.LossProbability > 0 {
-		loss = fault.NewBernoulli(cfg.LossProbability, root.Split())
+	b := &Bus{
+		cfg:      cfg,
+		root:     root,
+		topo:     cfg.Topology,
+		parts:    cfg.Partitions,
+		hasParts: len(cfg.Partitions) > 0,
+		maxChase: cfg.MaxChase,
+		nextPID:  1,
+		members:  make(map[proto.ProcessID]*member),
+		topics:   make(map[string]*topicState),
 	}
-	return &Bus{
-		cfg:     cfg,
-		root:    root,
-		loss:    loss,
-		nextPID: 1,
-		members: make(map[proto.ProcessID]*member),
-		topics:  make(map[string][]proto.ProcessID),
+	if b.maxChase == 0 {
+		b.maxChase = defaultMaxChase
 	}
+	// Stream discipline mirrors the simulator's: the root splits happen in
+	// a fixed order that depends only on the options, then one split per
+	// subscription, so a Bus's whole history is a pure function of its
+	// seed and the operation sequence. The delay stream is split only when
+	// a delay model is in force, keeping zero-delay buses bit-identical to
+	// pre-delay versions.
+	if b.topo != nil {
+		b.loss = fault.NewTopologyLoss(b.topo, cfg.Epsilon, root.Split())
+	} else {
+		b.loss = fault.NewBernoulli(cfg.Epsilon, root.Split())
+	}
+	if delay != nil {
+		b.delay = delay
+		b.delayRNG = root.Split()
+		b.maxDelay = delay.MaxDelay()
+		b.fl = newDelayRing(b.maxDelay)
+	}
+	return b, nil
 }
 
 // Client is a named participant that can subscribe and publish.
@@ -119,56 +279,93 @@ func (c *Client) Subscribe(topic string, h Handler) (*Subscription, error) {
 		return nil, errors.New("pubsub: empty topic")
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if _, dup := c.subs[topic]; dup {
+		c.mu.Unlock()
 		return nil, fmt.Errorf("pubsub: %q already subscribed to %q", c.name, topic)
 	}
 	sub, err := c.bus.join(c.name, topic, h)
 	if err != nil {
+		c.mu.Unlock()
 		return nil, err
 	}
 	sub.client = c
 	c.subs[topic] = sub
+	c.mu.Unlock()
+	// The join gossip may already have delivered notifications (e.g. a
+	// retransmit reply); flush them now that no client lock is held, so
+	// handlers may reenter this same client.
+	c.bus.flush()
 	return sub, nil
 }
 
 // join creates the topic member and bootstraps it via an existing member
-// (§3.4: a joiner contacts a process already in Π).
+// (§3.4: a joiner contacts a process already in Π). On any failure the
+// registration is rolled back completely — no ghost member keeps
+// gossiping, and TopicSize is unchanged.
 func (b *Bus) join(client, topic string, h Handler) (*Subscription, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	pid := b.nextPID
 	b.nextPID++
-	m := &member{pid: pid, topic: topic, handler: h, client: client}
+	m := &member{pid: pid, handler: h, client: client}
 	eng, err := core.New(pid, b.cfg.Engine, func(ev proto.Event) {
 		if m.handler != nil && m.leaving == 0 {
-			m.handler(topic, ev)
+			b.pending = append(b.pending, delivery{ts: m.topic, h: m.handler, ev: ev})
 		}
 	}, b.root.Split())
 	if err != nil {
+		b.nextPID--
 		return nil, err
 	}
+	// Every member runs the recycling emission path; the routing loop
+	// consumes each emission before the engine's next TickAppend, and the
+	// delay ring deep-copies, so the reuse contract holds.
+	eng.SetEmissionReuse(true)
 	m.engine = eng
+
+	ts, ok := b.topics[topic]
+	created := !ok
+	if created {
+		ts = &topicState{name: topic}
+		b.topics[topic] = ts
+	}
+	m.topic = ts
+	existing := b.activeTopicMembers(ts)
 	b.members[pid] = m
-	existing := b.activeTopicMembers(topic)
-	b.topics[topic] = append(b.topics[topic], pid)
+	b.order = append(b.order, pid)
+	ts.pids = append(ts.pids, pid)
 	if len(existing) > 0 {
 		// Send the subscription to one existing member, which gossips it
 		// on the joiner's behalf.
 		contact := existing[b.root.Intn(len(existing))]
 		join, err := eng.JoinVia(contact)
 		if err != nil {
+			// Roll back the half-registration: without this the pid stayed
+			// in members and the topic list, gossiping forever and
+			// overcounting TopicSize while the caller saw only an error.
+			delete(b.members, pid)
+			b.order = b.order[:len(b.order)-1]
+			ts.pids = ts.pids[:len(ts.pids)-1]
+			if created {
+				delete(b.topics, topic)
+			}
+			b.nextPID--
 			return nil, err
 		}
-		b.route(join)
+		// The join request is network traffic like any other: it runs
+		// through partition, loss, and delay filtering and is accounted
+		// to the topic.
+		b.queue = append(b.queue[:0], join)
+		b.qTally = append(b.qTally[:0], ts)
+		b.dispatchLocked(0)
 	}
 	return &Subscription{topic: topic, pid: pid}, nil
 }
 
 // activeTopicMembers lists non-leaving members of a topic.
-func (b *Bus) activeTopicMembers(topic string) []proto.ProcessID {
+func (b *Bus) activeTopicMembers(ts *topicState) []proto.ProcessID {
 	var out []proto.ProcessID
-	for _, pid := range b.topics[topic] {
+	for _, pid := range ts.pids {
 		if m, ok := b.members[pid]; ok && m.leaving == 0 {
 			out = append(out, pid)
 		}
@@ -197,12 +394,16 @@ func (s *Subscription) publish(payload []byte) (proto.Event, error) {
 	}
 	b := s.client.bus
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	m, ok := b.members[s.pid]
 	if !ok {
+		b.mu.Unlock()
 		return proto.Event{}, errors.New("pubsub: member no longer exists")
 	}
-	return m.engine.Publish(payload), nil
+	ev := m.engine.Publish(payload)
+	// Publish delivers locally right away; hand the notification to the
+	// publisher's own handler outside the lock.
+	b.flushLocked()
+	return ev, nil
 }
 
 // leaveGraceRounds is how many gossip rounds a leaving member keeps
@@ -212,71 +413,86 @@ const leaveGraceRounds = 5
 // Cancel unsubscribes from the topic: the member stops delivering
 // immediately, gossips its unsubscription for a grace period, then leaves
 // the group entirely.
+//
+// Cancel holds the client lock across the whole operation, so it is
+// atomic with respect to concurrent Subscribe calls on the same client: a
+// refused cancel (membership.ErrUnsubRefused) leaves every structure
+// exactly as it was, and can never clobber a subscription that a racing
+// Subscribe installed.
 func (s *Subscription) Cancel() error {
+	c := s.client
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	s.mu.Lock()
 	if s.cancelled {
 		s.mu.Unlock()
 		return nil
 	}
-	s.cancelled = true
 	s.mu.Unlock()
-
-	c := s.client
-	c.mu.Lock()
-	delete(c.subs, s.topic)
-	c.mu.Unlock()
 
 	b := c.bus
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	m, ok := b.members[s.pid]
-	if !ok {
-		return nil
+	if m, ok := b.members[s.pid]; ok {
+		if err := m.engine.Unsubscribe(b.now); err != nil {
+			// Refused (unSubs buffer full, §3.4): nothing has been
+			// mutated, so there is nothing to roll back; the caller can
+			// retry later and the subscription stays fully live.
+			b.mu.Unlock()
+			return err
+		}
+		m.leaving = leaveGraceRounds
 	}
-	if err := m.engine.Unsubscribe(b.now); err != nil {
-		// Refused (unSubs buffer full, §3.4): stay subscribed; the caller
-		// can retry later.
-		s.mu.Lock()
-		s.cancelled = false
-		s.mu.Unlock()
-		c.mu.Lock()
-		c.subs[s.topic] = s
-		c.mu.Unlock()
-		return err
+	b.mu.Unlock()
+
+	s.mu.Lock()
+	s.cancelled = true
+	s.mu.Unlock()
+	if c.subs[s.topic] == s {
+		delete(c.subs, s.topic)
 	}
-	m.leaving = leaveGraceRounds
 	return nil
 }
 
-// Step advances every topic group one gossip round.
+// Step advances every topic group one gossip round: delayed messages due
+// this round arrive first (in deterministic enqueue order), every member
+// emits its periodic gossip through the recycling append path, leave
+// grace periods tick down, and the batched dispatch loop routes the
+// round's traffic with bounded response chasing. Handlers run after the
+// round's protocol work, with no locks held.
 func (b *Bus) Step() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.stepLocked()
+	b.flushLocked()
+}
+
+func (b *Bus) stepLocked() {
 	b.now++
-	pids := make([]proto.ProcessID, 0, len(b.members))
-	for pid := range b.members {
-		pids = append(pids, pid)
+	queue, tally := b.queue[:0], b.qTally[:0]
+	pre := 0
+	if b.fl != nil {
+		queue, tally = b.fl.drain(b.now, queue, tally)
+		pre = len(queue)
 	}
-	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
-	var queue []proto.Message
-	for _, pid := range pids {
+	removals := b.removals[:0]
+	for _, pid := range b.order {
 		m := b.members[pid]
-		queue = append(queue, m.engine.Tick(b.now)...)
+		queue = m.engine.TickAppend(b.now, queue)
+		for len(tally) < len(queue) {
+			tally = append(tally, m.topic)
+		}
 		if m.leaving > 0 {
 			m.leaving--
 			if m.leaving == 0 {
-				b.removeMember(pid)
+				removals = append(removals, pid)
 			}
 		}
 	}
-	// Route with bounded response chasing.
-	for hop := 0; len(queue) > 0 && hop < 8; hop++ {
-		var next []proto.Message
-		for _, msg := range queue {
-			next = append(next, b.routeLocked(msg)...)
-		}
-		queue = next
+	b.removals = removals
+	for _, pid := range removals {
+		b.removeMember(pid)
 	}
+	b.queue, b.qTally = queue, tally
+	b.dispatchLocked(pre)
 }
 
 // StepN advances n gossip rounds.
@@ -286,36 +502,153 @@ func (b *Bus) StepN(n int) {
 	}
 }
 
-// route delivers one message while the bus lock is held by the caller.
-func (b *Bus) route(m proto.Message) { b.routeLocked(m) }
-
-func (b *Bus) routeLocked(msg proto.Message) []proto.Message {
-	dst, ok := b.members[msg.To]
-	if !ok {
-		return nil
+// dispatchLocked delivers b.queue, chasing same-round responses up to the
+// chase cap. The first pre messages are this round's delayed arrivals:
+// they passed send-time filtering already, so they settle their in-flight
+// accounting and go straight to their receivers. Responses still queued
+// when the cap hits are counted per topic in TruncatedChase — the old
+// silent 8-hop drop broke conservation exactly here.
+func (b *Bus) dispatchLocked(pre int) {
+	queue, next := b.queue, b.next
+	tally, ntally := b.qTally, b.nTally
+	for hop := 0; len(queue) > 0 && hop < b.maxChase; hop++ {
+		next, ntally = next[:0], ntally[:0]
+		for pos, msg := range queue {
+			ts := tally[pos]
+			var dst *member
+			if pos < pre {
+				// Settle a delayed arrival: it left InFlight this round.
+				// The destination may have completed its leave while the
+				// message was in the air — that is an unknown destination
+				// now, same as the simulator's to-crashed re-check.
+				ts.net.InFlight--
+				m, ok := b.members[msg.To]
+				if !ok {
+					ts.net.UnknownDest++
+					continue
+				}
+				ts.net.Delivered++
+				ts.net.DeliveredLate++
+				dst = m
+			} else {
+				var ok bool
+				if dst, ok = b.classify(msg, ts); !ok {
+					continue
+				}
+			}
+			next = dst.engine.HandleMessageAppend(msg, b.now, next)
+			for len(ntally) < len(next) {
+				ntally = append(ntally, dst.topic)
+			}
+		}
+		queue, next = next, queue
+		tally, ntally = ntally, tally
+		pre = 0
 	}
-	if b.loss.Drop(msg.From, msg.To, b.now) {
-		return nil
+	for _, ts := range tally[:len(queue)] {
+		ts.net.TruncatedChase++
 	}
-	return dst.engine.HandleMessage(msg, b.now)
+	b.queue, b.next = queue, next
+	b.qTally, b.nTally = tally, ntally
 }
 
-// removeMember drops a member from routing and its topic list.
+// classify runs one message through the network's partition, loss, and
+// delay filtering and updates the owning topic's counters: the message
+// lands in Sent plus exactly one of UnknownDest, DroppedInPartition,
+// Dropped, or Delivered — or enters the delay ring and is counted in
+// InFlight until its arrival round settles it. Filter order matches the
+// simulator's classify, so the two harnesses model the same network.
+func (b *Bus) classify(msg proto.Message, ts *topicState) (*member, bool) {
+	ts.net.Sent++
+	dst, ok := b.members[msg.To]
+	if !ok {
+		// Views keep naming members for a while after they leave; their
+		// traffic is accounted, not silently dropped.
+		ts.net.UnknownDest++
+		return nil, false
+	}
+	if b.hasParts && fault.CutLink(b.parts, b.linkClass(msg.From, msg.To), b.now) {
+		ts.net.DroppedInPartition++
+		return nil, false
+	}
+	if b.loss.Drop(msg.From, msg.To, b.now) {
+		ts.net.Dropped++
+		return nil, false
+	}
+	if b.delay != nil {
+		d := b.delay.Delay(msg.From, msg.To, b.now, b.delayRNG)
+		if d < 0 || d > b.maxDelay {
+			panic(fmt.Sprintf("pubsub: delay %d outside the model's [0, MaxDelay=%d]", d, b.maxDelay))
+		}
+		if d > 0 {
+			b.fl.enqueue(msg, ts, b.now+uint64(d))
+			ts.net.InFlight++
+			return nil, false
+		}
+	}
+	ts.net.Delivered++
+	return dst, true
+}
+
+// linkClass resolves the class of a link under the configured topology;
+// without one, every link is LinkLocal.
+func (b *Bus) linkClass(src, dst proto.ProcessID) fault.LinkClass {
+	if b.topo != nil {
+		return b.topo.Class(src, dst)
+	}
+	return fault.LinkLocal
+}
+
+// flush acquires the bus lock and drains the deferred-delivery queue.
+func (b *Bus) flush() {
+	b.mu.Lock()
+	b.flushLocked()
+}
+
+// flushLocked drains the pending deliveries accumulated under the lock
+// and invokes each handler with the lock released, then returns with the
+// lock UNLOCKED. Handlers may therefore reenter the Bus freely — a
+// handler that publishes appends new deliveries to pending, the nested
+// flushLocked sees delivering and backs off, and this outermost loop
+// re-reads len(pending) under the lock and drains them too. The old code
+// called handlers from inside Step's critical section, so any reentrant
+// call self-deadlocked.
+func (b *Bus) flushLocked() {
+	if b.delivering {
+		b.mu.Unlock()
+		return
+	}
+	b.delivering = true
+	for b.flushPos < len(b.pending) {
+		d := b.pending[b.flushPos]
+		b.flushPos++
+		b.mu.Unlock()
+		d.h(d.ts.name, d.ev)
+		b.mu.Lock()
+	}
+	b.pending = b.pending[:0]
+	b.flushPos = 0
+	b.delivering = false
+	b.mu.Unlock()
+}
+
+// removeMember drops a member from routing and its topic list. The
+// topicState itself is retained so the topic's NetStats survive.
 func (b *Bus) removeMember(pid proto.ProcessID) {
 	m, ok := b.members[pid]
 	if !ok {
 		return
 	}
 	delete(b.members, pid)
-	list := b.topics[m.topic]
-	for i, p := range list {
+	if i := sort.Search(len(b.order), func(i int) bool { return b.order[i] >= pid }); i < len(b.order) && b.order[i] == pid {
+		b.order = append(b.order[:i], b.order[i+1:]...)
+	}
+	ts := m.topic
+	for i, p := range ts.pids {
 		if p == pid {
-			b.topics[m.topic] = append(list[:i], list[i+1:]...)
+			ts.pids = append(ts.pids[:i], ts.pids[i+1:]...)
 			break
 		}
-	}
-	if len(b.topics[m.topic]) == 0 {
-		delete(b.topics, m.topic)
 	}
 }
 
@@ -323,7 +656,10 @@ func (b *Bus) removeMember(pid proto.ProcessID) {
 func (b *Bus) TopicSize(topic string) int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return len(b.activeTopicMembers(topic))
+	if ts, ok := b.topics[topic]; ok {
+		return len(b.activeTopicMembers(ts))
+	}
+	return 0
 }
 
 // Topics lists topics with at least one member, sorted.
@@ -331,11 +667,36 @@ func (b *Bus) Topics() []string {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	out := make([]string, 0, len(b.topics))
-	for t := range b.topics {
-		out = append(out, t)
+	for t, ts := range b.topics {
+		if len(ts.pids) > 0 {
+			out = append(out, t)
+		}
 	}
 	sort.Strings(out)
 	return out
+}
+
+// NetStats returns the cumulative network counters of one topic. Counters
+// persist after the last member leaves; an unknown topic reads as zero.
+func (b *Bus) NetStats(topic string) stats.NetStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ts, ok := b.topics[topic]; ok {
+		return ts.net
+	}
+	return stats.NetStats{}
+}
+
+// TotalNetStats merges every topic's counters. Conservation is linear,
+// so the merged counters satisfy the same invariant.
+func (b *Bus) TotalNetStats() stats.NetStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var total stats.NetStats
+	for _, ts := range b.topics {
+		total.Merge(ts.net)
+	}
+	return total
 }
 
 // Now returns the current gossip round.

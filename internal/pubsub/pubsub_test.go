@@ -2,13 +2,40 @@ package pubsub
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/membership"
 	"repro/internal/proto"
 )
+
+// newTestBus builds a Bus or fails the test.
+func newTestBus(t testing.TB, cfg Config) *Bus {
+	t.Helper()
+	b, err := NewBus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// assertBusConserved checks the conservation invariant on every topic's
+// counters and on their merge.
+func assertBusConserved(t *testing.T, b *Bus) {
+	t.Helper()
+	for _, topic := range b.Topics() {
+		if err := b.NetStats(topic).Conserved(); err != nil {
+			t.Errorf("topic %q: %v", topic, err)
+		}
+	}
+	if err := b.TotalNetStats().Conserved(); err != nil {
+		t.Errorf("total: %v", err)
+	}
+}
 
 // collector counts deliveries per topic, safely.
 type collector struct {
@@ -42,9 +69,27 @@ func (c *collector) topicCount(topic string) int {
 	return c.topics[topic]
 }
 
+func TestNewBusValidates(t *testing.T) {
+	t.Parallel()
+	cases := map[string]Config{
+		"epsilon": {Epsilon: 1.5},
+		"chase":   {MaxChase: -1},
+		"delay":   {Delay: fault.FixedDelay{Rounds: -2}},
+		"ring":    {Delay: fault.FixedDelay{Rounds: maxDelayBound + 1}},
+		"partition overlap": {Partitions: []fault.Partition{
+			{From: 1, To: 5}, {From: 3, To: 7},
+		}},
+	}
+	for name, cfg := range cases {
+		if _, err := NewBus(cfg); err == nil {
+			t.Errorf("%s: invalid config accepted", name)
+		}
+	}
+}
+
 func TestSubscribeValidation(t *testing.T) {
 	t.Parallel()
-	b := NewBus(Config{Seed: 1})
+	b := newTestBus(t, Config{Seed: 1})
 	alice := b.NewClient("alice")
 	if _, err := alice.Subscribe("", nil); err == nil {
 		t.Error("empty topic accepted")
@@ -59,7 +104,7 @@ func TestSubscribeValidation(t *testing.T) {
 
 func TestPublishRequiresSubscription(t *testing.T) {
 	t.Parallel()
-	b := NewBus(Config{Seed: 1})
+	b := newTestBus(t, Config{Seed: 1})
 	alice := b.NewClient("alice")
 	if _, err := alice.Publish("news", []byte("x")); err == nil {
 		t.Error("publish without subscription accepted")
@@ -68,7 +113,7 @@ func TestPublishRequiresSubscription(t *testing.T) {
 
 func TestTopicBroadcast(t *testing.T) {
 	t.Parallel()
-	b := NewBus(Config{Seed: 2})
+	b := newTestBus(t, Config{Seed: 2})
 	col := newCollector()
 	const subscribers = 12
 	var pub *Client
@@ -90,11 +135,16 @@ func TestTopicBroadcast(t *testing.T) {
 	if got := col.count(ev.ID); got != subscribers {
 		t.Fatalf("delivered to %d of %d subscribers", got, subscribers)
 	}
+	s := b.NetStats("market")
+	if s.Sent == 0 || s.Delivered == 0 {
+		t.Errorf("topic stats not accounted: %+v", s)
+	}
+	assertBusConserved(t, b)
 }
 
 func TestTopicsAreIsolated(t *testing.T) {
 	t.Parallel()
-	b := NewBus(Config{Seed: 3})
+	b := newTestBus(t, Config{Seed: 3})
 	colA, colB := newCollector(), newCollector()
 	pa := b.NewClient("pa")
 	pb := b.NewClient("pb")
@@ -124,11 +174,17 @@ func TestTopicsAreIsolated(t *testing.T) {
 	if got := b.Topics(); len(got) != 2 || got[0] != "alpha" || got[1] != "beta" {
 		t.Errorf("Topics = %v", got)
 	}
+	// Per-topic accounting is isolated too: beta is a single silent
+	// member, so all traffic belongs to alpha.
+	if s := b.NetStats("beta"); s.Sent != 0 {
+		t.Errorf("beta accounted alpha's traffic: %+v", s)
+	}
+	assertBusConserved(t, b)
 }
 
 func TestLateJoinerCatchesNewTraffic(t *testing.T) {
 	t.Parallel()
-	b := NewBus(Config{Seed: 4})
+	b := newTestBus(t, Config{Seed: 4})
 	col := newCollector()
 	first := b.NewClient("first")
 	if _, err := first.Subscribe("chat", col.handler()); err != nil {
@@ -159,7 +215,7 @@ func TestLateJoinerCatchesNewTraffic(t *testing.T) {
 
 func TestCancelStopsDeliveryAndShrinksTopic(t *testing.T) {
 	t.Parallel()
-	b := NewBus(Config{Seed: 5})
+	b := newTestBus(t, Config{Seed: 5})
 	col := newCollector()
 	leaverCol := newCollector()
 	var clients []*Client
@@ -201,6 +257,9 @@ func TestCancelStopsDeliveryAndShrinksTopic(t *testing.T) {
 	if col.count(ev.ID) != 7 {
 		t.Errorf("remaining members got %d of 7 deliveries", col.count(ev.ID))
 	}
+	// Views keep naming the departed member for a while; its traffic is
+	// accounted as unknown-destination, not lost from the books.
+	assertBusConserved(t, b)
 	// Cancel is idempotent.
 	if err := leaverSub.Cancel(); err != nil {
 		t.Errorf("second Cancel: %v", err)
@@ -216,7 +275,7 @@ func TestCancelRefusedWhenUnsubBufferFull(t *testing.T) {
 	cfg := core.DefaultConfig()
 	cfg.Membership.UnsubRefusalLen = 1
 	cfg.Membership.UnsubTTL = 1 << 60 // never expire during the test
-	b := NewBus(Config{Seed: 6, Engine: cfg})
+	b := newTestBus(t, Config{Seed: 6, Engine: cfg})
 	var subs []*Subscription
 	for i := 0; i < 6; i++ {
 		cl := b.NewClient(string(rune('a' + i)))
@@ -247,7 +306,7 @@ func TestCancelRefusedWhenUnsubBufferFull(t *testing.T) {
 
 func TestBusWithLossStillDelivers(t *testing.T) {
 	t.Parallel()
-	b := NewBus(Config{Seed: 7, LossProbability: 0.1})
+	b := newTestBus(t, Config{Seed: 7, Epsilon: 0.1})
 	col := newCollector()
 	var pub *Client
 	for i := 0; i < 10; i++ {
@@ -268,11 +327,16 @@ func TestBusWithLossStillDelivers(t *testing.T) {
 	if got := col.count(ev.ID); got < 9 {
 		t.Errorf("delivered to %d of 10 under 10%% loss (retransmission on)", got)
 	}
+	s := b.NetStats("lossy")
+	if s.Dropped == 0 {
+		t.Errorf("ε=0.1 dropped nothing: %+v", s)
+	}
+	assertBusConserved(t, b)
 }
 
 func TestNowAdvances(t *testing.T) {
 	t.Parallel()
-	b := NewBus(Config{Seed: 8})
+	b := newTestBus(t, Config{Seed: 8})
 	if b.Now() != 0 {
 		t.Fatal("fresh bus not at round 0")
 	}
@@ -287,7 +351,7 @@ func TestManyTopicsStayIsolatedAndCheap(t *testing.T) {
 	// The paper defers "the effect of scaling up topics" (§3.1); this
 	// exercises it: 12 topics × 8 subscribers, traffic on all topics,
 	// no cross-talk.
-	b := NewBus(Config{Seed: 99})
+	b := newTestBus(t, Config{Seed: 99})
 	const topics, subsPer = 12, 8
 	cols := make([]*collector, topics)
 	pubs := make([]*Client, topics)
@@ -329,10 +393,431 @@ func TestManyTopicsStayIsolatedAndCheap(t *testing.T) {
 	if got := len(b.Topics()); got != topics {
 		t.Errorf("bus lists %d topics, want %d", got, topics)
 	}
+	assertBusConserved(t, b)
+}
+
+// TestJoinRollbackOnJoinViaFailure is the regression test for the
+// half-registered-member leak: when JoinVia rejects the chosen contact,
+// the failed subscriber used to stay in the member table and the topic
+// list, gossiping forever and inflating TopicSize. The test plants a
+// ghost member under proto.NilProcess — the one contact JoinVia always
+// refuses — so the bootstrap fails deterministically, then asserts the
+// registration was fully rolled back.
+func TestJoinRollbackOnJoinViaFailure(t *testing.T) {
+	t.Parallel()
+	b := newTestBus(t, Config{Seed: 10})
+	ts := &topicState{name: "t"}
+	b.topics["t"] = ts
+	ghost := &member{pid: proto.NilProcess, topic: ts}
+	b.members[proto.NilProcess] = ghost
+	ts.pids = append(ts.pids, proto.NilProcess)
+
+	pidBefore := b.nextPID
+	ordBefore := len(b.order)
+	cl := b.NewClient("joiner")
+	if _, err := cl.Subscribe("t", nil); err == nil {
+		t.Fatal("Subscribe via an invalid contact succeeded")
+	}
+	if got := b.nextPID; got != pidBefore {
+		t.Errorf("nextPID = %d after failed join, want %d", got, pidBefore)
+	}
+	if len(b.order) != ordBefore {
+		t.Errorf("failed joiner left %d pids in the tick order, want %d", len(b.order), ordBefore)
+	}
+	if len(ts.pids) != 1 {
+		t.Errorf("failed joiner still in topic list: %v", ts.pids)
+	}
+	if len(b.members) != 1 {
+		t.Errorf("failed joiner still registered: %d members", len(b.members))
+	}
+	// The client's sub map must not hold the failed subscription either:
+	// a retry must not hit the duplicate-subscription error.
+	if _, err := cl.Subscribe("other", nil); err != nil {
+		t.Errorf("client unusable after failed join: %v", err)
+	}
+	// The ghost member gossips nowhere; stepping must not panic or leak.
+	b.StepN(2)
+	assertBusConserved(t, b)
+}
+
+// TestHandlerMayReenterBus is the regression test for the self-deadlock:
+// handlers used to run inside Step's critical section, so a handler that
+// published (or subscribed, or cancelled) hung on Bus.mu forever. Now
+// handlers run from a drained queue with no locks held: a handler that
+// re-publishes on delivery must complete, and its follow-up event must
+// disseminate like any other.
+func TestHandlerMayReenterBus(t *testing.T) {
+	t.Parallel()
+	b := newTestBus(t, Config{Seed: 11})
+	col := newCollector()
+	const subscribers = 8
+
+	var reactor *Client
+	var once sync.Once
+	var followUp proto.EventID
+	var followMu sync.Mutex
+	reactHandler := func(topic string, ev proto.Event) {
+		col.handler()(topic, ev)
+		once.Do(func() {
+			// Reentrant publish from inside a delivery.
+			fev, err := reactor.Publish("chain", []byte("follow-up"))
+			if err != nil {
+				t.Errorf("reentrant publish: %v", err)
+				return
+			}
+			followMu.Lock()
+			followUp = fev.ID
+			followMu.Unlock()
+		})
+	}
+
+	var pub *Client
+	for i := 0; i < subscribers; i++ {
+		cl := b.NewClient(string(rune('a' + i)))
+		h := col.handler()
+		if i == subscribers-1 {
+			reactor = cl
+			h = reactHandler
+		}
+		if _, err := cl.Subscribe("chain", h); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			pub = cl
+		}
+	}
+	b.StepN(5)
+
+	// Watchdog: before the fix this deadlocked; fail fast instead of
+	// hanging the whole test binary.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := pub.Publish("chain", []byte("trigger")); err != nil {
+			t.Errorf("publish: %v", err)
+			return
+		}
+		b.StepN(12)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("bus deadlocked: handler reentered the Bus during delivery")
+	}
+
+	followMu.Lock()
+	id := followUp
+	followMu.Unlock()
+	if id == (proto.EventID{}) {
+		t.Fatal("reentrant publish never ran")
+	}
+	if got := col.count(id); got != subscribers {
+		t.Errorf("follow-up event delivered to %d of %d", got, subscribers)
+	}
+	assertBusConserved(t, b)
+}
+
+// TestCancelSubscribeRaceAtomic is the race-hammer regression test for
+// the Cancel rollback clobber: a refused Cancel used to re-insert its
+// subscription into the client's map without checking whether a
+// concurrent Subscribe had won the race in the unlocked window, silently
+// replacing the new subscription and stranding its member. Cancel is now
+// atomic under the client lock: while a live subscription exists, a
+// concurrent Subscribe to the same topic can only report "already
+// subscribed", never get clobbered. Run under -race.
+func TestCancelSubscribeRaceAtomic(t *testing.T) {
+	t.Parallel()
+	engCfg := core.DefaultConfig()
+	engCfg.Membership.UnsubRefusalLen = 1
+	engCfg.Membership.UnsubTTL = 1 << 60
+	for i := 0; i < 100; i++ {
+		b := newTestBus(t, Config{Seed: uint64(100 + i), Engine: engCfg})
+		filler := b.NewClient("filler")
+		fillerSub, err := filler.Subscribe("t", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := b.NewClient("c")
+		s, err := c.Subscribe("t", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.NewClient("w").Subscribe("t", nil); err != nil {
+			t.Fatal(err)
+		}
+		b.StepN(4)
+		// The filler's departure fills the other members' unSubs buffers
+		// (UnsubRefusalLen=1), so s.Cancel below is refused.
+		if err := fillerSub.Cancel(); err != nil {
+			t.Fatal(err)
+		}
+		b.StepN(3)
+
+		var subsWon []*Subscription
+		var cancelErr error
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			cancelErr = s.Cancel()
+		}()
+		for {
+			if s2, err := c.Subscribe("t", nil); err == nil {
+				subsWon = append(subsWon, s2)
+			}
+			select {
+			case <-done:
+			default:
+				continue
+			}
+			break
+		}
+
+		if errors.Is(cancelErr, membership.ErrUnsubRefused) {
+			// The cancel was refused, so s stayed live the whole time: no
+			// concurrent Subscribe may have succeeded, and the client map
+			// must still hold s.
+			if len(subsWon) != 0 {
+				t.Fatalf("iter %d: refused Cancel raced a successful Subscribe: %d won", i, len(subsWon))
+			}
+			c.mu.Lock()
+			cur := c.subs["t"]
+			c.mu.Unlock()
+			if cur != s {
+				t.Fatalf("iter %d: refused Cancel clobbered the client's subscription", i)
+			}
+			if _, err := c.Publish("t", nil); err != nil {
+				t.Fatalf("iter %d: subscription dead after refused Cancel: %v", i, err)
+			}
+		} else if cancelErr == nil && len(subsWon) > 0 {
+			// The cancel succeeded and a Subscribe won afterwards: the
+			// winner must be the live subscription.
+			c.mu.Lock()
+			cur := c.subs["t"]
+			c.mu.Unlock()
+			if cur != subsWon[len(subsWon)-1] {
+				t.Fatalf("iter %d: winning Subscribe not in the client map", i)
+			}
+		}
+	}
+}
+
+// TestTruncatedChaseSurfaced is the regression test for the silent chase
+// drop: responses still queued when the chase cap hit used to vanish
+// without a trace. With MaxChase=1, a late joiner's retransmit requests
+// (triggered by digests of events it missed) are generated in hop 0 and
+// cut off before hop 1 — they must show up in TruncatedChase, and the
+// conservation invariant must hold because truncated messages never
+// reached the network.
+func TestTruncatedChaseSurfaced(t *testing.T) {
+	t.Parallel()
+	run := func(maxChase int) *Bus {
+		b := newTestBus(t, Config{Seed: 12, MaxChase: maxChase})
+		var pub *Client
+		for i := 0; i < 8; i++ {
+			cl := b.NewClient(string(rune('a' + i)))
+			if _, err := cl.Subscribe("deep", nil); err != nil {
+				t.Fatal(err)
+			}
+			if pub == nil {
+				pub = cl
+			}
+		}
+		b.StepN(5)
+		if _, err := pub.Publish("deep", []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+		b.StepN(3)
+		// A late joiner misses the event; digests make it beg for
+		// retransmissions every round.
+		if _, err := b.NewClient("late").Subscribe("deep", nil); err != nil {
+			t.Fatal(err)
+		}
+		b.StepN(6)
+		return b
+	}
+
+	choked := run(1)
+	s := choked.NetStats("deep")
+	if s.TruncatedChase == 0 {
+		t.Errorf("MaxChase=1 reported no truncated responses: %+v", s)
+	}
+	assertBusConserved(t, choked)
+
+	// With the default cap the same scenario drains fully.
+	free := run(0)
+	if s := free.NetStats("deep"); s.TruncatedChase != 0 {
+		t.Errorf("default MaxChase truncated %d responses: %+v", s.TruncatedChase, s)
+	}
+	assertBusConserved(t, free)
+}
+
+// busScenario runs a fixed multi-topic script under loss + per-link
+// delay + a partition window and returns the delivery tape: one line per
+// handler invocation, in invocation order.
+func busScenario(t *testing.T, seed uint64) ([]string, *Bus) {
+	t.Helper()
+	topo := fault.TwoCluster{
+		Split: 8, // pids are assigned in subscription order from 1
+		Local: fault.LinkProfile{Epsilon: -1},
+		WAN:   fault.LinkProfile{Epsilon: -1, MinDelay: 1, MaxDelay: 2},
+	}
+	b := newTestBus(t, Config{
+		Seed:     seed,
+		Epsilon:  0.05,
+		Topology: topo,
+		Partitions: []fault.Partition{
+			{From: 12, To: 16, Classes: []fault.LinkClass{fault.LinkWAN}},
+		},
+	})
+	var tape []string
+	handler := func(name string) Handler {
+		return func(topic string, ev proto.Event) {
+			tape = append(tape, fmt.Sprintf("r%d %s %s %v", b.Now(), name, topic, ev.ID))
+		}
+	}
+	clients := map[string]*Client{}
+	for i := 0; i < 16; i++ {
+		name := fmt.Sprintf("c%02d", i)
+		cl := b.NewClient(name)
+		clients[name] = cl
+		topic := "even"
+		if i%2 == 1 {
+			topic = "odd"
+		}
+		if _, err := cl.Subscribe(topic, handler(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.StepN(5)
+	for r := 0; r < 20; r++ {
+		if r%4 == 0 {
+			if _, err := clients["c00"].Publish("even", []byte{byte(r)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if r%5 == 0 {
+			if _, err := clients["c01"].Publish("odd", []byte{byte(r)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		b.Step()
+	}
+	return tape, b
+}
+
+// TestBusDeterministicTape: same seed ⇒ bit-identical delivery tapes,
+// including under loss, per-link delays, and a scheduled partition
+// window — the pubsub analogue of the executor equivalence tests.
+func TestBusDeterministicTape(t *testing.T) {
+	t.Parallel()
+	tape1, b1 := busScenario(t, 42)
+	tape2, _ := busScenario(t, 42)
+	if len(tape1) == 0 {
+		t.Fatal("scenario delivered nothing")
+	}
+	if len(tape1) != len(tape2) {
+		t.Fatalf("tapes differ in length: %d vs %d", len(tape1), len(tape2))
+	}
+	for i := range tape1 {
+		if tape1[i] != tape2[i] {
+			t.Fatalf("tapes diverge at %d: %q vs %q", i, tape1[i], tape2[i])
+		}
+	}
+	// A different seed must not replay the same tape (the scenario is
+	// genuinely stochastic).
+	tape3, _ := busScenario(t, 43)
+	same := len(tape3) == len(tape1)
+	if same {
+		for i := range tape1 {
+			if tape1[i] != tape3[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical tapes")
+	}
+	// The fault machinery all fired, and the books balance per topic.
+	total := b1.TotalNetStats()
+	if total.Dropped == 0 {
+		t.Errorf("ε=0.05 dropped nothing: %+v", total)
+	}
+	if total.DeliveredLate == 0 {
+		t.Errorf("WAN delays produced no late deliveries: %+v", total)
+	}
+	if total.DroppedInPartition == 0 {
+		t.Errorf("partition window cut nothing: %+v", total)
+	}
+	assertBusConserved(t, b1)
+}
+
+// TestBusStepAllocs gates the steady-state routing path: a warmed
+// multi-topic bus must run a whole round in at most 2 allocations —
+// the same budget as the simulator's steady rounds.
+func TestBusStepAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc gate needs unthrottled runtime")
+	}
+	bus := newTestBus(t, Config{Seed: 1})
+	for ti := 0; ti < 8; ti++ {
+		topic := string(rune('A' + ti))
+		for s := 0; s < 8; s++ {
+			cl := bus.NewClient(topic + string(rune('a'+s)))
+			if _, err := cl.Subscribe(topic, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	bus.StepN(30) // warm the retained buffers and engine scratch
+	allocs := testing.AllocsPerRun(50, bus.Step)
+	if allocs > 2 {
+		t.Errorf("steady Step allocates %v times per round, want <= 2", allocs)
+	}
+	assertBusConserved(t, bus)
+}
+
+// TestBusDelayedDeliverySettles: messages parked in the delay ring settle
+// into Delivered(+Late) and the payloads survive the engines' emission
+// reuse (the ring deep-copies).
+func TestBusDelayedDeliverySettles(t *testing.T) {
+	t.Parallel()
+	b := newTestBus(t, Config{Seed: 13, Delay: fault.FixedDelay{Rounds: 2}})
+	col := newCollector()
+	var pub *Client
+	for i := 0; i < 8; i++ {
+		cl := b.NewClient(string(rune('a' + i)))
+		if _, err := cl.Subscribe("slow", col.handler()); err != nil {
+			t.Fatal(err)
+		}
+		if pub == nil {
+			pub = cl
+		}
+	}
+	b.StepN(6)
+	ev, err := pub.Publish("slow", []byte("delayed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.StepN(14)
+	if got := col.count(ev.ID); got != 8 {
+		t.Errorf("delivered to %d of 8 with a 2-round delay", got)
+	}
+	s := b.NetStats("slow")
+	if s.DeliveredLate == 0 {
+		t.Errorf("fixed 2-round delay produced no late deliveries: %+v", s)
+	}
+	if s.DeliveredLate != s.Delivered {
+		t.Errorf("every delivery is 2 rounds late, got %d late of %d", s.DeliveredLate, s.Delivered)
+	}
+	assertBusConserved(t, b)
 }
 
 func BenchmarkBusStepManyTopics(b *testing.B) {
-	bus := NewBus(Config{Seed: 1})
+	bus, err := NewBus(Config{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
 	for ti := 0; ti < 10; ti++ {
 		topic := string(rune('A' + ti))
 		for s := 0; s < 10; s++ {

@@ -1,0 +1,110 @@
+package pubsub
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/proto"
+	"repro/internal/rng"
+)
+
+// Workload describes a Zipf-distributed topic-popularity deployment: the
+// multi-tenant shape the paper aims lpbcast at (§1: "millions of users"),
+// where a deployment hosts many topics but subscriptions concentrate on a
+// few hot ones. Subscriber i picks its topic by a Zipf(S) draw over the
+// topic ranks, so rank 0 is the hottest group and the tail is sparse.
+type Workload struct {
+	// Topics is the number of topic groups.
+	Topics int
+	// Subscribers is the total number of (client, topic) subscriptions
+	// deployed; must be at least Topics so every topic gets its seed
+	// member.
+	Subscribers int
+	// S is the Zipf exponent: 0 spreads subscribers uniformly, larger
+	// values concentrate them on the hot topics. Typical web-scale
+	// popularity is S ≈ 1.
+	S float64
+	// Seed drives the popularity draws (independent of the Bus's seed).
+	Seed uint64
+}
+
+// Validate reports workload errors.
+func (w Workload) Validate() error {
+	if w.Topics <= 0 {
+		return errors.New("pubsub: workload needs at least one topic")
+	}
+	if w.Subscribers < w.Topics {
+		return fmt.Errorf("pubsub: %d subscribers cannot seed %d topics", w.Subscribers, w.Topics)
+	}
+	if w.S < 0 {
+		return fmt.Errorf("pubsub: negative Zipf exponent %v", w.S)
+	}
+	return nil
+}
+
+// Population is a deployed workload: the topic names by rank and the
+// clients subscribed to each.
+type Population struct {
+	// TopicNames[rank] is the name of the rank-th hottest topic.
+	TopicNames []string
+	// Clients[rank] holds the clients subscribed to topic rank, in
+	// subscription order; Clients[rank][0] is the topic's seed member.
+	Clients [][]*Client
+}
+
+// TopicName formats the canonical name of a topic rank.
+func TopicName(rank int) string { return fmt.Sprintf("t%03d", rank) }
+
+// Deploy subscribes the workload onto the bus: first one seed subscriber
+// per topic (rank order, so every group exists), then the remaining
+// Subscribers-Topics clients on Zipf-drawn topics. handler(rank) supplies
+// each client's delivery handler (nil handler means subscribe silently);
+// it may return nil.
+func (w Workload) Deploy(bus *Bus, handler func(rank int) Handler) (*Population, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Population{
+		TopicNames: make([]string, w.Topics),
+		Clients:    make([][]*Client, w.Topics),
+	}
+	for rank := 0; rank < w.Topics; rank++ {
+		p.TopicNames[rank] = TopicName(rank)
+	}
+	src := rng.New(w.Seed)
+	zipf := rng.NewZipf(w.Topics, w.S)
+	subscribe := func(i, rank int) error {
+		cl := bus.NewClient(fmt.Sprintf("s%05d", i))
+		var h Handler
+		if handler != nil {
+			h = handler(rank)
+		}
+		if _, err := cl.Subscribe(p.TopicNames[rank], h); err != nil {
+			return err
+		}
+		p.Clients[rank] = append(p.Clients[rank], cl)
+		return nil
+	}
+	for rank := 0; rank < w.Topics; rank++ {
+		if err := subscribe(rank, rank); err != nil {
+			return nil, err
+		}
+	}
+	for i := w.Topics; i < w.Subscribers; i++ {
+		if err := subscribe(i, zipf.Draw(src)); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// Size returns the number of clients subscribed to topic rank.
+func (p *Population) Size(rank int) int { return len(p.Clients[rank]) }
+
+// PublishAt publishes payload on topic rank through its seed member.
+func (p *Population) PublishAt(rank int, payload []byte) (proto.Event, error) {
+	if rank < 0 || rank >= len(p.Clients) {
+		return proto.Event{}, fmt.Errorf("pubsub: topic rank %d outside [0,%d)", rank, len(p.Clients))
+	}
+	return p.Clients[rank][0].Publish(p.TopicNames[rank], payload)
+}

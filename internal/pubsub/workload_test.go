@@ -1,0 +1,105 @@
+package pubsub
+
+import (
+	"testing"
+)
+
+func TestWorkloadValidate(t *testing.T) {
+	t.Parallel()
+	bad := []Workload{
+		{Topics: 0, Subscribers: 5},
+		{Topics: 4, Subscribers: 3},
+		{Topics: 2, Subscribers: 4, S: -1},
+	}
+	for i, w := range bad {
+		if err := w.Validate(); err == nil {
+			t.Errorf("case %d: invalid workload %+v accepted", i, w)
+		}
+	}
+	if err := (Workload{Topics: 2, Subscribers: 4}).Validate(); err != nil {
+		t.Errorf("valid workload rejected: %v", err)
+	}
+}
+
+func TestWorkloadDeployShape(t *testing.T) {
+	t.Parallel()
+	b := newTestBus(t, Config{Seed: 21})
+	w := Workload{Topics: 8, Subscribers: 120, S: 1.0, Seed: 5}
+	pop, err := w.Deploy(b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(b.Topics()); got != w.Topics {
+		t.Fatalf("bus lists %d topics, want %d", got, w.Topics)
+	}
+	total := 0
+	for rank := 0; rank < w.Topics; rank++ {
+		n := pop.Size(rank)
+		total += n
+		if n < 1 {
+			t.Errorf("rank %d has no seed member", rank)
+		}
+		if got := b.TopicSize(pop.TopicNames[rank]); got != n {
+			t.Errorf("rank %d: bus sees %d members, population %d", rank, got, n)
+		}
+	}
+	if total != w.Subscribers {
+		t.Fatalf("deployed %d subscriptions, want %d", total, w.Subscribers)
+	}
+	// Zipf shape: the hottest topic strictly dominates the coolest.
+	if pop.Size(0) <= pop.Size(w.Topics-1) {
+		t.Errorf("rank 0 (%d subs) not hotter than rank %d (%d subs)",
+			pop.Size(0), w.Topics-1, pop.Size(w.Topics-1))
+	}
+}
+
+func TestWorkloadDeterministic(t *testing.T) {
+	t.Parallel()
+	sizes := func() []int {
+		b := newTestBus(t, Config{Seed: 3})
+		pop, err := Workload{Topics: 6, Subscribers: 60, S: 1.2, Seed: 9}.Deploy(b, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]int, 6)
+		for r := range out {
+			out[r] = pop.Size(r)
+		}
+		return out
+	}
+	a, b := sizes(), sizes()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("deploys diverge at rank %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestWorkloadDisseminates(t *testing.T) {
+	t.Parallel()
+	b := newTestBus(t, Config{Seed: 23, Epsilon: 0.02})
+	col := newCollector()
+	w := Workload{Topics: 4, Subscribers: 40, S: 1.0, Seed: 7}
+	pop, err := w.Deploy(b, func(rank int) Handler {
+		if rank != 0 {
+			return nil
+		}
+		return col.handler()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.StepN(6)
+	ev, err := pop.PublishAt(0, []byte("hot"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.StepN(12)
+	if got, want := col.count(ev.ID), pop.Size(0); got != want {
+		t.Errorf("hot topic delivered to %d of %d subscribers", got, want)
+	}
+	if _, err := pop.PublishAt(99, nil); err == nil {
+		t.Error("out-of-range rank accepted")
+	}
+	assertBusConserved(t, b)
+}

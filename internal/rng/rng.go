@@ -262,3 +262,57 @@ func (s *Source) ExpFloat64() float64 {
 		}
 	}
 }
+
+// Zipf samples ranks from a bounded Zipf (power-law) distribution:
+// rank k in [0, n) is drawn with probability proportional to 1/(k+1)^s.
+// It models the skewed topic popularity of large pub/sub deployments —
+// many topics, few hot — with s = 0 degenerating to uniform.
+//
+// The sampler precomputes the normalized CDF once and inverts it with a
+// binary search per draw, so Draw costs one Float64 plus O(log n) and
+// allocates nothing. Like the other samplers here, Zipf owns no stream:
+// the caller passes the Source, keeping the draw-per-decision discipline
+// visible at the call site.
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf builds a sampler over n ranks with exponent s. It panics when
+// n <= 0 or s is negative or NaN, mirroring Intn's contract.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("rng: NewZipf called with n <= 0")
+	}
+	if s < 0 || math.IsNaN(s) {
+		panic("rng: NewZipf called with negative or NaN exponent")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		sum += math.Pow(float64(k+1), -s)
+		cdf[k] = sum
+	}
+	for k := range cdf {
+		cdf[k] /= sum
+	}
+	cdf[n-1] = 1 // guard against rounding leaving the tail unreachable
+	return &Zipf{cdf: cdf}
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Draw returns the next rank in [0, N()), consuming one Float64 from r.
+func (z *Zipf) Draw(r *Source) int {
+	u := r.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] <= u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

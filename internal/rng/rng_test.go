@@ -371,3 +371,81 @@ func TestSampleNoAllocSmallK(t *testing.T) {
 		t.Errorf("Sample(125, 3) allocates %v times per call, want <= 1", allocs)
 	}
 }
+
+func TestZipfPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"n=0":  func() { NewZipf(0, 1) },
+		"n<0":  func() { NewZipf(-3, 1) },
+		"s<0":  func() { NewZipf(5, -0.1) },
+		"sNaN": func() { NewZipf(5, math.NaN()) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: NewZipf did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestZipfDistribution(t *testing.T) {
+	const n, draws = 16, 200_000
+	z := NewZipf(n, 1.0)
+	if z.N() != n {
+		t.Fatalf("N() = %d, want %d", z.N(), n)
+	}
+	s := New(9)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		k := z.Draw(s)
+		if k < 0 || k >= n {
+			t.Fatalf("Draw returned %d, outside [0,%d)", k, n)
+		}
+		counts[k]++
+	}
+	// Monotone popularity: rank 0 strictly hottest, tail reached.
+	if counts[0] <= counts[1] || counts[n-1] == 0 {
+		t.Fatalf("counts not Zipf-shaped: %v", counts)
+	}
+	// Rank 0 should hold ~1/H_16 ≈ 29.6% of the mass at s=1.
+	frac := float64(counts[0]) / draws
+	if frac < 0.27 || frac > 0.33 {
+		t.Errorf("rank 0 frequency %.3f outside [0.27, 0.33]", frac)
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	const n, draws = 8, 80_000
+	z := NewZipf(n, 0)
+	s := New(4)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Draw(s)]++
+	}
+	want := float64(draws) / n
+	for k, c := range counts {
+		if d := math.Abs(float64(c)-want) / want; d > 0.05 {
+			t.Errorf("s=0 rank %d count %d deviates %.1f%% from uniform %v", k, c, 100*d, want)
+		}
+	}
+}
+
+func TestZipfDeterministic(t *testing.T) {
+	z := NewZipf(32, 1.2)
+	a, b := New(11), New(11)
+	for i := 0; i < 1000; i++ {
+		if x, y := z.Draw(a), z.Draw(b); x != y {
+			t.Fatalf("draw %d: %d != %d with identical streams", i, x, y)
+		}
+	}
+}
+
+func TestZipfDrawNoAlloc(t *testing.T) {
+	z := NewZipf(1024, 1.0)
+	s := New(2)
+	if allocs := testing.AllocsPerRun(200, func() { _ = z.Draw(s) }); allocs != 0 {
+		t.Errorf("Draw allocates %v times per call, want 0", allocs)
+	}
+}

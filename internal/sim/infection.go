@@ -10,6 +10,11 @@ type InfectionResult struct {
 	PerRound []float64
 	// Runs is the number of repetitions averaged.
 	Runs int
+	// Population is the size of the traced group when it differs from
+	// the whole system — a TopicExperiment's hot-topic subscriber count.
+	// 0 means the trace spans the full cluster (MatrixTable then targets
+	// the cell's N).
+	Population int
 }
 
 // RoundsToReach returns the first round at which the mean infection count

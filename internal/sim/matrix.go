@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/stats"
 )
@@ -29,6 +30,14 @@ type MatrixSpec struct {
 	// Delays are fixed per-message delivery delays in rounds (the network
 	// latency dimension; fault.FixedDelay). Default: {0}.
 	Delays []int
+	// Topics is the pub/sub dimension: cells with Topics > 1 run a
+	// TopicExperiment — N subscribers spread over that many topic groups
+	// by a Zipf(1) popularity draw on a pubsub.Bus — instead of a flat
+	// process cluster. Only the lpbcast protocol supports topic cells
+	// (the Bus hosts core engines), and the crash dimension Tau is
+	// ignored there: the pubsub substrate models voluntary churn, not
+	// crashes. Default: {1} (no pub/sub cells).
+	Topics []int
 	// Protocols are the broadcast algorithms to compare. Default:
 	// {Lpbcast}.
 	Protocols []Protocol
@@ -62,6 +71,9 @@ func (s MatrixSpec) withDefaults() MatrixSpec {
 	if len(s.Delays) == 0 {
 		s.Delays = []int{0}
 	}
+	if len(s.Topics) == 0 {
+		s.Topics = []int{1}
+	}
 	if s.Rounds <= 0 {
 		s.Rounds = 10
 	}
@@ -84,6 +96,7 @@ type MatrixCell struct {
 	Epsilon  float64
 	Tau      float64
 	Delay    int // fixed delivery delay in rounds (0 = same-round)
+	Topics   int // topic groups; > 1 runs a pub/sub TopicExperiment
 	Protocol Protocol
 	// Result is the averaged infection trace for this configuration.
 	Result InfectionResult
@@ -99,6 +112,9 @@ func (c MatrixCell) Name() string {
 	name := fmt.Sprintf("%s,F=%d,eps=%g,tau=%g", c.Protocol, c.Fanout, c.Epsilon, c.Tau)
 	if c.Delay != 0 {
 		name += fmt.Sprintf(",d=%d", c.Delay)
+	}
+	if c.Topics > 1 {
+		name += fmt.Sprintf(",topics=%d", c.Topics)
 	}
 	return name
 }
@@ -131,10 +147,36 @@ func cellOptions(spec MatrixSpec, cell MatrixCell, idx int) Options {
 	return o
 }
 
+// runTopicCell executes a pub/sub grid point: the cell's N subscribers
+// spread over its topic count by a Zipf(1) popularity draw, the traced
+// event published on the hottest topic. The §5.2 comparability choice
+// (AssumeFromDigest) carries over; Tau does not apply (see
+// MatrixSpec.Topics).
+func runTopicCell(spec MatrixSpec, cell MatrixCell, idx int) (InfectionResult, error) {
+	if cell.Protocol != Lpbcast {
+		return InfectionResult{}, fmt.Errorf("sim: topic cells require lpbcast, not %s", cell.Protocol)
+	}
+	opts := TopicOptions{
+		Subscribers:  cell.N,
+		Topics:       cell.Topics,
+		ZipfS:        1.0,
+		Seed:         spec.Seed + uint64(idx)*1_000_003,
+		Epsilon:      cell.Epsilon,
+		WarmupRounds: 5,
+	}
+	if cell.Delay != 0 {
+		opts.Delay = fault.FixedDelay{Rounds: cell.Delay}
+	}
+	opts.Engine = core.DefaultConfig()
+	opts.Engine.Fanout = cell.Fanout
+	opts.Engine.AssumeFromDigest = true
+	return TopicExperiment(opts, spec.Rounds, spec.Repeats)
+}
+
 // RunMatrix sweeps the grid, running up to spec.Concurrency cells at a
 // time. The returned slice enumerates the cross product in deterministic
-// order (protocol-major, then fanout, epsilon, tau, and N innermost),
-// independent of how the cells were scheduled.
+// order (protocol-major, then fanout, epsilon, tau, delay, topics, and N
+// innermost), independent of how the cells were scheduled.
 func RunMatrix(spec MatrixSpec) ([]MatrixCell, error) {
 	if len(spec.Ns) == 0 {
 		return nil, errors.New("sim: matrix needs at least one system size")
@@ -147,10 +189,12 @@ func RunMatrix(spec MatrixSpec) ([]MatrixCell, error) {
 			for _, eps := range spec.Epsilons {
 				for _, tau := range spec.Taus {
 					for _, d := range spec.Delays {
-						for _, n := range spec.Ns {
-							cells = append(cells, MatrixCell{
-								N: n, Fanout: f, Epsilon: eps, Tau: tau, Delay: d, Protocol: p,
-							})
+						for _, topics := range spec.Topics {
+							for _, n := range spec.Ns {
+								cells = append(cells, MatrixCell{
+									N: n, Fanout: f, Epsilon: eps, Tau: tau, Delay: d, Topics: topics, Protocol: p,
+								})
+							}
 						}
 					}
 				}
@@ -167,6 +211,10 @@ func RunMatrix(spec MatrixSpec) ([]MatrixCell, error) {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			cell := &cells[i]
+			if cell.Topics > 1 {
+				cell.Result, cell.Err = runTopicCell(spec, *cell, i)
+				return
+			}
 			opts := cellOptions(spec, *cell, i)
 			cell.Result, cell.Err = InfectionExperiment(opts, spec.Rounds, spec.Repeats)
 		}(i)
@@ -198,7 +246,13 @@ func MatrixTable(cells []MatrixCell) *stats.Table {
 			series[name] = s
 			order = append(order, name)
 		}
-		rounds, _ := c.Result.RoundsToReach(0.99 * float64(c.N))
+		// Topic cells trace one topic group, not the whole system; their
+		// 99% target is the hot topic's population.
+		target := float64(c.N)
+		if c.Result.Population > 0 {
+			target = float64(c.Result.Population)
+		}
+		rounds, _ := c.Result.RoundsToReach(0.99 * target)
 		s.Add(float64(c.N), float64(rounds))
 	}
 	for _, name := range order {

@@ -29,6 +29,7 @@ import (
 	"repro/internal/pbcast"
 	"repro/internal/proto"
 	"repro/internal/rng"
+	"repro/internal/stats"
 )
 
 // Process is the engine-side contract the simulator drives. Both
@@ -241,34 +242,11 @@ func (o Options) Validate() error {
 	}
 }
 
-// NetStats counts network-level activity during a run. Every message that
-// reaches the network is counted in Sent and in exactly one of Delivered,
-// Dropped, ToCrashed, UnknownDest, or DroppedInPartition — or is waiting
-// in the delay queue and counted in InFlight — so Sent is always the sum
-// of those five outcome counters plus InFlight. TruncatedChase counts
-// messages that never reached the network because the same-round response
-// cascade hit the maxChase safety valve.
-type NetStats struct {
-	Sent        uint64
-	Dropped     uint64 // lost to loss-model ε (or first-phase unreliability)
-	ToCrashed   uint64 // addressed to a (by arrival time) crashed process
-	UnknownDest uint64 // addressed to a PID outside the cluster
-	Delivered   uint64
-	// DeliveredLate is the subset of Delivered that spent at least one
-	// round in the in-flight delay queue before arriving.
-	DeliveredLate uint64
-	// DroppedInPartition counts messages sent across a link class cut by
-	// a scheduled Partition at send time.
-	DroppedInPartition uint64
-	// InFlight is the number of messages currently parked in the delay
-	// queue: already Sent, not yet settled into an outcome counter. At
-	// the end of a run it counts deliveries the horizon cut off.
-	InFlight uint64
-	// TruncatedChase counts messages still queued when a round's response
-	// cascade hit the maxChase hop cap and was cut off; they were
-	// discarded before any loss or crash filtering.
-	TruncatedChase uint64
-}
+// NetStats counts network-level activity during a run; it is the shared
+// stats.NetStats (one definition for every routing harness — the sim
+// executors here and the pubsub Bus). See that type for the counter
+// semantics and the conservation invariant Conserved checks.
+type NetStats = stats.NetStats
 
 // Cluster is a simulated system of processes plus its failure model.
 type Cluster struct {

@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+)
+
+func TestTopicExperimentValidation(t *testing.T) {
+	t.Parallel()
+	good := TopicOptions{Subscribers: 40, Topics: 4, ZipfS: 1, Seed: 1}
+	if _, err := TopicExperiment(good, 0, 1); err == nil {
+		t.Error("rounds=0 accepted")
+	}
+	if _, err := TopicExperiment(good, 5, 0); err == nil {
+		t.Error("repeats=0 accepted")
+	}
+	bad := good
+	bad.Topics = 0
+	if _, err := TopicExperiment(bad, 5, 1); err == nil {
+		t.Error("topics=0 accepted")
+	}
+	bad = good
+	bad.WarmupRounds = -1
+	if _, err := TopicExperiment(bad, 5, 1); err == nil {
+		t.Error("negative warmup accepted")
+	}
+}
+
+func TestTopicExperimentInfectsHotTopic(t *testing.T) {
+	t.Parallel()
+	opts := TopicOptions{
+		Subscribers:  120,
+		Topics:       8,
+		ZipfS:        1.0,
+		Seed:         3,
+		Epsilon:      0.02,
+		WarmupRounds: 5,
+	}
+	res, err := TopicExperiment(opts, 12, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Population <= 0 || res.Population > opts.Subscribers {
+		t.Fatalf("Population = %d outside (0,%d]", res.Population, opts.Subscribers)
+	}
+	if res.PerRound[0] != 1 {
+		t.Errorf("PerRound[0] = %v, want 1 (the publisher)", res.PerRound[0])
+	}
+	final := res.PerRound[len(res.PerRound)-1]
+	if final < 0.99*float64(res.Population) {
+		t.Errorf("hot topic infected %.1f of %d subscribers after 12 rounds", final, res.Population)
+	}
+	// The trace never leaves the hot topic's group.
+	if final > float64(res.Population) {
+		t.Errorf("infection %v exceeds the topic population %d", final, res.Population)
+	}
+}
+
+func TestTopicExperimentDeterministic(t *testing.T) {
+	t.Parallel()
+	opts := TopicOptions{
+		Subscribers:  80,
+		Topics:       6,
+		ZipfS:        1.0,
+		Seed:         11,
+		Epsilon:      0.05,
+		Delay:        fault.FixedDelay{Rounds: 1},
+		WarmupRounds: 4,
+	}
+	a, err := TopicExperiment(opts, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TopicExperiment(opts, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Population != b.Population {
+		t.Fatalf("populations diverge: %d vs %d", a.Population, b.Population)
+	}
+	for i := range a.PerRound {
+		if a.PerRound[i] != b.PerRound[i] {
+			t.Fatalf("traces diverge at round %d: %v vs %v", i, a.PerRound, b.PerRound)
+		}
+	}
+}
+
+func TestRunMatrixTopicCells(t *testing.T) {
+	t.Parallel()
+	spec := MatrixSpec{
+		Ns:       []int{60},
+		Fanouts:  []int{3},
+		Epsilons: []float64{0.01},
+		Topics:   []int{1, 6},
+		Rounds:   10,
+		Repeats:  1,
+		Seed:     2,
+	}
+	cells, err := RunMatrix(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(cells))
+	}
+	for _, c := range cells {
+		if c.Err != nil {
+			t.Fatalf("cell %s: %v", c.Name(), c.Err)
+		}
+	}
+	flat, topic := cells[0], cells[1]
+	if flat.Topics != 1 || topic.Topics != 6 {
+		t.Fatalf("unexpected cell order: %+v", cells)
+	}
+	if topic.Result.Population <= 0 {
+		t.Errorf("topic cell reported no population")
+	}
+	if flat.Result.Population != 0 {
+		t.Errorf("flat cell reported population %d, want 0", flat.Result.Population)
+	}
+	if name := topic.Name(); name != "lpbcast,F=3,eps=0.01,tau=0.01,topics=6" {
+		t.Errorf("topic cell name = %q", name)
+	}
+	// The table renders both series without conflating targets.
+	tbl := MatrixTable(cells)
+	if len(tbl.Series) != 2 {
+		t.Errorf("table has %d series, want 2", len(tbl.Series))
+	}
+}
+
+func TestRunMatrixTopicCellsRejectNonLpbcast(t *testing.T) {
+	t.Parallel()
+	spec := MatrixSpec{
+		Ns:        []int{40},
+		Topics:    []int{4},
+		Protocols: []Protocol{PbcastTotal},
+		Rounds:    5,
+		Repeats:   1,
+	}
+	cells, err := RunMatrix(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 || cells[0].Err == nil {
+		t.Fatalf("pbcast topic cell did not error: %+v", cells)
+	}
+}
