@@ -41,12 +41,17 @@ type ClusterConfig struct {
 	// DeferStart leaves the nodes unstarted; call Cluster.Start when ready.
 	// Useful to snapshot seeded views (Graph) before gossip mutates them.
 	DeferStart bool
+	// ControlPlane attaches a shared delivery-latency collector to every
+	// node so Cluster.ControlHandler can serve the latency histogram on
+	// /metrics. It composes with per-node WithTracer options.
+	ControlPlane bool
 }
 
 // Cluster is a set of live Nodes on one in-process network.
 type Cluster struct {
-	network *Network
-	nodes   []*Node
+	network   *Network
+	nodes     []*Node
+	collector *LatencyCollector
 }
 
 // NewCluster builds (and, unless DeferStart is set, starts) an N-node
@@ -72,6 +77,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		Seed:            cfg.Seed,
 	})
 	c := &Cluster{network: network}
+	if cfg.ControlPlane {
+		c.collector = NewLatencyCollector()
+	}
 	c.nodes = make([]*Node, cfg.N)
 	eps := make([]*transport.Endpoint, cfg.N)
 	for i := 0; i < cfg.N; i++ {
@@ -132,6 +140,11 @@ func (c *Cluster) buildNode(cfg ClusterConfig, ep *transport.Endpoint, i int) (*
 		WithGossipInterval(cfg.GossipInterval),
 		WithRNGSeed(cfg.Seed + uint64(i+1)*0x9e3779b97f4a7c15),
 	}, cfg.NodeOptions...)
+	if c.collector != nil {
+		// Applied after NodeOptions so a user WithTracer composes instead
+		// of clobbering the cluster's collector.
+		opts = append(opts, withAddedTracer(c.collector))
+	}
 	node, err := NewNode(id, ep, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("lpbcast: node %d: %w", i+1, err)
@@ -167,8 +180,14 @@ func (c *Cluster) Start() {
 // Nodes returns the cluster's nodes (index i has id i+1).
 func (c *Cluster) Nodes() []*Node { return c.nodes }
 
-// Node returns the node with the given id.
-func (c *Cluster) Node(id ProcessID) *Node { return c.nodes[int(id)-1] }
+// Node returns the node with the given id, or nil when no node with
+// that id exists (ids run 1..N).
+func (c *Cluster) Node(id ProcessID) *Node {
+	if id == NilProcess || uint64(id) > uint64(len(c.nodes)) {
+		return nil
+	}
+	return c.nodes[int(id)-1]
+}
 
 // N returns the cluster size.
 func (c *Cluster) N() int { return len(c.nodes) }
@@ -182,6 +201,9 @@ func (c *Cluster) Network() *Network { return c.network }
 func (c *Cluster) AwaitDelivery(id ProcessID, want EventID, timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
 	node := c.Node(id)
+	if node == nil {
+		return false
+	}
 	for time.Now().Before(deadline) {
 		node.mu.Lock()
 		known := node.engine.Knows(want)

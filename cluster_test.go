@@ -72,9 +72,8 @@ func TestClusterBroadcastUnderLoss(t *testing.T) {
 	if reached < 10 {
 		t.Fatalf("only %d of 11 nodes delivered under 5%% loss", reached)
 	}
-	sent, dropped := cluster.Network().Stats()
-	if sent == 0 || dropped == 0 {
-		t.Fatalf("loss injection inactive: sent=%d dropped=%d", sent, dropped)
+	if st := cluster.Network().Stats(); st.Sent == 0 || st.Dropped == 0 {
+		t.Fatalf("loss injection inactive: sent=%d dropped=%d", st.Sent, st.Dropped)
 	}
 }
 
@@ -192,8 +191,8 @@ func TestClusterDeferStart(t *testing.T) {
 	}
 	defer c.Close()
 	time.Sleep(10 * time.Millisecond)
-	if sent, _ := c.Network().Stats(); sent != 0 {
-		t.Fatalf("deferred cluster sent %d messages before Start", sent)
+	if st := c.Network().Stats(); st.Sent != 0 {
+		t.Fatalf("deferred cluster sent %d messages before Start", st.Sent)
 	}
 	c.Start()
 	ev, err := c.Node(1).Publish([]byte("deferred"))

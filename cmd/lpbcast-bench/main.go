@@ -482,7 +482,7 @@ func liveSuite(quick bool) []benchCase {
 						})
 					}
 				}
-				sentBefore, _, _ := src.Stats()
+				before := src.Stats()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					if err := src.SendBatch(burst); err != nil {
@@ -490,8 +490,79 @@ func liveSuite(quick bool) []benchCase {
 					}
 				}
 				b.StopTimer()
-				sentAfter, _, _ := src.Stats()
-				b.ReportMetric(float64(sentAfter-sentBefore)/float64(b.N), "datagrams/op")
+				after := src.Stats()
+				b.ReportMetric(float64(after.Datagrams-before.Datagrams)/float64(b.N), "datagrams/op")
+				b.ReportMetric(float64(len(burst)), "messages/op")
+			},
+		},
+		{
+			// The observable live node: a started node with the control
+			// plane's latency collector attached as its tracer, fed bursts
+			// of already-known gossip through the in-process fabric. Each
+			// op is one 3-message inbound round crossing transport, run
+			// loop, engine, and trace path; the absolute allocs ceiling
+			// proves metrics stay free on the hot path.
+			name: "live/ctl-node-round/burst=3",
+			gate: true, maxAllocs: 2,
+			fn: func(b *testing.B) {
+				network := lpbcast.NewInprocNetwork(lpbcast.InprocConfig{Seed: 9})
+				defer network.Close()
+				ep, err := network.Attach(1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				peer, err := network.Attach(2)
+				if err != nil {
+					b.Fatal(err)
+				}
+				col := lpbcast.NewLatencyCollector()
+				node, err := lpbcast.NewNode(1, ep,
+					lpbcast.WithTracer(col),
+					lpbcast.WithSeeds(2),
+					lpbcast.WithGossipInterval(time.Hour), // rounds are driven below
+					lpbcast.WithDeliveryHandler(func(lpbcast.Event) {}),
+				)
+				if err != nil {
+					b.Fatal(err)
+				}
+				node.Start()
+				defer node.Close()
+				ev, err := node.Publish([]byte("steady"))
+				if err != nil {
+					b.Fatal(err)
+				}
+				g := &proto.Gossip{
+					From:   2,
+					Subs:   []proto.ProcessID{2},
+					Events: []proto.Event{{ID: ev.ID, Payload: []byte("steady")}},
+					Digest: []proto.EventID{ev.ID},
+				}
+				burst := make([]proto.Message, 3)
+				for i := range burst {
+					burst[i] = proto.Message{Kind: proto.GossipMsg, From: 2, To: 1, Gossip: g}
+				}
+				// await spins until the node has consumed n more gossips;
+				// Stats takes a mutex and allocates nothing.
+				await := func(n uint64) {
+					want := node.Stats().GossipsReceived + n
+					for node.Stats().GossipsReceived < want {
+						runtime.Gosched()
+					}
+				}
+				for i := 0; i < 4; i++ { // warm scratch buffers
+					if err := peer.SendBatch(burst); err != nil {
+						b.Fatal(err)
+					}
+					await(uint64(len(burst)))
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := peer.SendBatch(burst); err != nil {
+						b.Fatal(err)
+					}
+					await(uint64(len(burst)))
+				}
+				b.StopTimer()
 				b.ReportMetric(float64(len(burst)), "messages/op")
 			},
 		},

@@ -16,6 +16,8 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -44,6 +46,7 @@ func run(args []string) error {
 		viewSize = fs.Int("view", 15, "maximum view size l")
 		stats    = fs.Duration("stats", 5*time.Second, "stats print period (0 disables)")
 		protocol = fs.String("protocol", "lpbcast", "gossip protocol: lpbcast or pbcast (the §6.2 baseline)")
+		ctlAddr  = fs.String("ctl-addr", "", "HTTP control-plane listen address, e.g. 127.0.0.1:8080 (empty disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -93,6 +96,19 @@ func run(args []string) error {
 	}
 	node.Start()
 	defer node.Close()
+
+	if *ctlAddr != "" {
+		ln, err := net.Listen("tcp", *ctlAddr)
+		if err != nil {
+			return fmt.Errorf("control plane: %w", err)
+		}
+		defer ln.Close()
+		fmt.Printf("control plane on http://%s (try /metrics, /nodes/%d)\n", ln.Addr(), id)
+		go func() {
+			srv := &http.Server{Handler: lpbcast.NewControlHandler(node)}
+			_ = srv.Serve(ln)
+		}()
+	}
 
 	if contact != lpbcast.NilProcess {
 		if err := node.JoinAndWait(contact, 10*time.Second); err != nil {

@@ -33,4 +33,7 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-id", "1", "-protocol", "rumor-mill"}); err == nil {
 		t.Fatal("unknown protocol accepted")
 	}
+	if err := run([]string{"-id", "1", "-bind", "127.0.0.1:0", "-ctl-addr", "not-an-address"}); err == nil {
+		t.Fatal("bad control-plane address accepted")
+	}
 }

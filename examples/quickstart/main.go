@@ -72,11 +72,11 @@ func run() error {
 	}
 
 	s := publisher.Stats()
-	sent, dropped := cluster.Network().Stats()
+	ns := cluster.Network().Stats()
 	fmt.Printf("node 1 stats: %d gossips sent, %d received, %d events delivered\n",
 		s.GossipsSent, s.GossipsReceived, s.EventsDelivered)
 	fmt.Printf("network: %d messages, %d lost (%.1f%%)\n",
-		sent, dropped, 100*float64(dropped)/float64(sent))
+		ns.Sent, ns.Dropped, 100*float64(ns.Dropped)/float64(ns.Sent))
 
 	return pbcastBaseline()
 }

@@ -134,9 +134,9 @@ func run() error {
 		}
 	}
 	rel := float64(delivered) / float64(total)
-	sent, dropped := network.Stats()
+	ns := network.Stats()
 	fmt.Printf("network: %d messages, %d lost (%.1f%%) across the LAN/WAN topology\n",
-		sent, dropped, 100*float64(dropped)/float64(sent))
+		ns.Sent, ns.Dropped, 100*float64(ns.Dropped)/float64(ns.Sent))
 	fmt.Printf("reliability 1-β = %.4f across %d events × %d survivors (worst event reached %d/%d)\n",
 		rel, len(ids), alive, perEventMin, alive)
 

@@ -749,3 +749,9 @@ func (e *Engine) DigestLen() int {
 	}
 	return e.flat.Len()
 }
+
+// SubsLen returns the current subs buffer occupancy (diagnostics).
+func (e *Engine) SubsLen() int { return e.mem.SubsLen() }
+
+// UnsubsLen returns the current unSubs buffer occupancy (diagnostics).
+func (e *Engine) UnsubsLen() int { return e.mem.UnsubsLen() }

@@ -44,6 +44,39 @@ type Transport interface {
 	Close() error
 }
 
+// Stats is the common transport counter ledger. Both bundled transports
+// report it — the in-process Network fabric-wide, the UDP transport
+// per-socket — so the control plane reads one shape regardless of which
+// transport a node runs over. All counters are cumulative.
+type Stats struct {
+	// Sent counts messages handed to the transport and accepted for
+	// transmission (before any loss decision).
+	Sent uint64 `json:"sent"`
+	// Received counts messages delivered into an inbound queue.
+	Received uint64 `json:"received"`
+	// Dropped counts messages lost in the fabric or on the socket: loss
+	// model, full inbound queue, or unknown destination.
+	Dropped uint64 `json:"dropped"`
+	// DroppedInPartition is the subset of losses caused by an injected
+	// partition cutting the message's link class at send time.
+	DroppedInPartition uint64 `json:"dropped_in_partition"`
+	// DecodeErrs counts inbound datagrams that failed to decode
+	// (serializing transports only).
+	DecodeErrs uint64 `json:"decode_errs"`
+	// Bytes counts wire bytes transmitted (serializing transports only;
+	// the in-process fabric moves messages by reference).
+	Bytes uint64 `json:"bytes"`
+	// Datagrams counts fabric crossings: datagrams written by the UDP
+	// transport, batch deliveries routed by the in-process network.
+	Datagrams uint64 `json:"datagrams"`
+}
+
+// StatsProvider is implemented by transports (and fabrics) that expose the
+// common counter ledger.
+type StatsProvider interface {
+	Stats() Stats
+}
+
 // Serializer marks transports whose Send/SendBatch fully serialize or
 // otherwise consume every message before returning, so callers — and
 // protocol engines in emission-reuse mode — may recycle message buffers

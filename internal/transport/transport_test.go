@@ -89,9 +89,8 @@ func TestInprocUnknownPeerDropsSilently(t *testing.T) {
 	if err := a.Send(subscribeMsg(1, 99)); err != nil {
 		t.Fatalf("send to unknown peer errored: %v", err)
 	}
-	_, dropped := n.Stats()
-	if dropped != 1 {
-		t.Fatalf("dropped = %d, want 1", dropped)
+	if st := n.Stats(); st.Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", st.Dropped)
 	}
 }
 
@@ -113,9 +112,8 @@ func TestInprocLossInjection(t *testing.T) {
 		t.Fatalf("message got through a 100%% lossy network: %+v", m)
 	case <-time.After(50 * time.Millisecond):
 	}
-	sent, dropped := n.Stats()
-	if sent != 10 || dropped != 10 {
-		t.Fatalf("stats = %d sent, %d dropped", sent, dropped)
+	if st := n.Stats(); st.Sent != 10 || st.Dropped != 10 {
+		t.Fatalf("stats = %d sent, %d dropped", st.Sent, st.Dropped)
 	}
 }
 
@@ -146,9 +144,8 @@ func TestInprocQueueOverflow(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	_, dropped := n.Stats()
-	if dropped != 3 {
-		t.Fatalf("dropped = %d, want 3", dropped)
+	if st := n.Stats(); st.Dropped != 3 {
+		t.Fatalf("dropped = %d, want 3", st.Dropped)
 	}
 }
 
@@ -303,8 +300,7 @@ func TestUDPIgnoresGarbageDatagrams(t *testing.T) {
 	// Give the reader a moment, then check the failure counter.
 	deadline := time.Now().Add(time.Second)
 	for {
-		_, _, decodeErrs := b.Stats()
-		if decodeErrs == 1 {
+		if b.Stats().DecodeErrs == 1 {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -377,9 +373,8 @@ func TestInprocSendBatch(t *testing.T) {
 	}
 	recvOne(t, b, time.Second)
 	recvOne(t, c, time.Second)
-	sent, dropped := n.Stats()
-	if sent != 4 || dropped != 1 {
-		t.Errorf("stats = %d sent, %d dropped; want 4, 1", sent, dropped)
+	if st := n.Stats(); st.Sent != 4 || st.Dropped != 1 {
+		t.Errorf("stats = %d sent, %d dropped; want 4, 1", st.Sent, st.Dropped)
 	}
 	if err := n.Close(); err != nil {
 		t.Fatal(err)
@@ -409,7 +404,141 @@ func TestInprocSendBatchLossAndLatency(t *testing.T) {
 		t.Fatalf("lossy batch delivered %+v", m)
 	case <-time.After(20 * time.Millisecond):
 	}
-	if _, dropped := n.Stats(); dropped != 2 {
-		t.Errorf("dropped = %d, want 2", dropped)
+	if st := n.Stats(); st.Dropped != 2 {
+		t.Errorf("dropped = %d, want 2", st.Dropped)
+	}
+}
+
+// TestInprocPartitionCutsAndHeals: a live partition on the WAN link class
+// swallows cross-cluster traffic (counted separately), leaves local
+// traffic alone, and heals on ClearPartitions.
+func TestInprocPartitionCutsAndHeals(t *testing.T) {
+	t.Parallel()
+	n := NewNetwork(NetworkConfig{
+		Topology: fault.TwoCluster{Split: 1, Local: fault.LinkProfile{}, WAN: fault.LinkProfile{}},
+	})
+	defer n.Close()
+	a, _ := n.Attach(1)
+	b, _ := n.Attach(2) // other side of the split: link class WAN
+	if err := n.AddPartition(fault.Partition{From: 0, To: ForeverMillis, Classes: []fault.LinkClass{fault.LinkWAN}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(subscribeMsg(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-b.Recv():
+		t.Fatalf("message crossed a cut WAN link: %+v", m)
+	case <-time.After(20 * time.Millisecond):
+	}
+	// Local traffic (same side of the split) still flows.
+	c, _ := n.Attach(1 << 20) // id > Split: same cluster as 2
+	if err := b.Send(subscribeMsg(2, 1<<20)); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, c, time.Second)
+	st := n.Stats()
+	if st.DroppedInPartition != 1 || st.Dropped != 1 {
+		t.Fatalf("stats = %+v, want exactly the WAN message partition-dropped", st)
+	}
+	if cleared := n.ClearPartitions(); cleared != 1 {
+		t.Fatalf("ClearPartitions = %d, want 1", cleared)
+	}
+	if err := a.Send(subscribeMsg(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, b, time.Second) // healed: the same link delivers again
+}
+
+// TestInprocPartitionValidation: windows must be non-empty and reference
+// classes the current topology has.
+func TestInprocPartitionValidation(t *testing.T) {
+	t.Parallel()
+	n := NewNetwork(NetworkConfig{}) // flat fabric: one class
+	defer n.Close()
+	if err := n.AddPartition(fault.Partition{From: 5, To: 5}); err == nil {
+		t.Error("empty window accepted")
+	}
+	if err := n.AddPartition(fault.Partition{From: 0, To: 10, Classes: []fault.LinkClass{fault.LinkWAN}}); err == nil {
+		t.Error("WAN class accepted on a single-class fabric")
+	}
+	if err := n.AddPartition(fault.Partition{From: 0, To: 10}); err != nil {
+		t.Errorf("valid all-class window rejected: %v", err)
+	}
+	if got := len(n.Partitions()); got != 1 {
+		t.Fatalf("Partitions() has %d entries, want 1", got)
+	}
+	// Installing a two-class topology keeps the all-class window; swapping
+	// back to flat keeps it too (it names no class explicitly).
+	if err := n.SetTopology(fault.TwoCluster{Split: 1, Local: fault.LinkProfile{}, WAN: fault.LinkProfile{}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddPartition(fault.Partition{From: 0, To: 10, Classes: []fault.LinkClass{fault.LinkWAN}}); err != nil {
+		t.Fatalf("WAN window rejected on a two-cluster topology: %v", err)
+	}
+	if err := n.SetTopology(nil); err != nil {
+		t.Fatal(err)
+	}
+	// The WAN-specific window referenced a class that no longer exists.
+	if got := len(n.Partitions()); got != 1 {
+		t.Fatalf("after topology swap %d partitions remain, want 1", got)
+	}
+}
+
+// TestInprocSetLossAtRuntime: the loss model is swappable while traffic
+// flows — the control plane's POST /faults/loss path.
+func TestInprocSetLossAtRuntime(t *testing.T) {
+	t.Parallel()
+	n := NewNetwork(NetworkConfig{})
+	defer n.Close()
+	a, _ := n.Attach(1)
+	b, _ := n.Attach(2)
+	if err := a.Send(subscribeMsg(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, b, time.Second)
+	n.SetLoss(fault.NewBernoulli(1.0, rng.New(3)))
+	for i := 0; i < 5; i++ {
+		if err := a.Send(subscribeMsg(1, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case m := <-b.Recv():
+		t.Fatalf("message survived 100%% loss: %+v", m)
+	case <-time.After(20 * time.Millisecond):
+	}
+	n.SetLoss(nil)
+	if err := a.Send(subscribeMsg(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, b, time.Second)
+	if st := n.Stats(); st.Dropped != 5 || st.Received != 2 {
+		t.Fatalf("stats = %+v, want 5 dropped, 2 received", st)
+	}
+}
+
+// TestInprocTopologyDelayUnit: link-class profile delays scale by
+// DelayUnit on the live fabric.
+func TestInprocTopologyDelayUnit(t *testing.T) {
+	t.Parallel()
+	n := NewNetwork(NetworkConfig{
+		Topology: fault.TwoCluster{
+			Split: 1,
+			Local: fault.LinkProfile{},
+			WAN:   fault.LinkProfile{MinDelay: 3, MaxDelay: 3},
+		},
+		DelayUnit: 10 * time.Millisecond,
+	})
+	defer n.Close()
+	a, _ := n.Attach(1)
+	b, _ := n.Attach(2)
+	start := time.Now()
+	if err := a.Send(subscribeMsg(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, b, time.Second)
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("WAN message delivered after %v, want ≥ ~30ms", elapsed)
 	}
 }

@@ -35,10 +35,11 @@ type UDP struct {
 	readers sync.WaitGroup
 
 	// Stats counters are atomics, not mu-guarded: concurrent SendBatch
-	// calls bump sent once per datagram, and taking the peer-table mutex
-	// for every increment both serialized high-rate senders and stalled
-	// the read loop behind them.
-	sent, received, decodeErrs atomic.Uint64
+	// calls bump them once per message or datagram, and taking the
+	// peer-table mutex for every increment both serialized high-rate
+	// senders and stalled the read loop behind them.
+	sent, received, dropped, decodeErrs atomic.Uint64
+	bytes, datagrams                    atomic.Uint64
 }
 
 // NewUDP binds a UDP transport for process id at bindAddr (e.g.
@@ -122,11 +123,12 @@ func (u *UDP) readLoop() {
 			}
 		}
 		u.mu.Unlock()
-		u.received.Add(1)
 		for _, m := range msgs {
 			select {
 			case u.in <- m:
+				u.received.Add(1)
 			default: // inbox full: drop like a socket buffer overflow
+				u.dropped.Add(1)
 			}
 		}
 	}
@@ -145,16 +147,21 @@ func (u *UDP) Send(m proto.Message) error {
 	addr, ok := u.peers[m.To]
 	u.mu.Unlock()
 	if !ok {
+		u.dropped.Add(1)
 		return fmt.Errorf("%w: %v", ErrUnknownPeer, m.To)
 	}
 	buf, err := wire.Encode(m)
 	if err != nil {
+		u.dropped.Add(1)
 		return fmt.Errorf("transport: encode: %w", err)
 	}
 	if _, err := u.conn.WriteToUDP(buf, addr); err != nil {
+		u.dropped.Add(1)
 		return fmt.Errorf("transport: send to %v: %w", m.To, err)
 	}
 	u.sent.Add(1)
+	u.datagrams.Add(1)
+	u.bytes.Add(uint64(len(buf)))
 	return nil
 }
 
@@ -201,11 +208,13 @@ func (u *UDP) SendBatch(msgs []proto.Message) error {
 	}
 	for i, m := range msgs {
 		if addrs[i] == nil {
+			u.dropped.Add(1)
 			fail(fmt.Errorf("%w: %v", ErrUnknownPeer, m.To))
 			continue
 		}
 		frame, err := wire.Encode(m)
 		if err != nil {
+			u.dropped.Add(1)
 			fail(fmt.Errorf("transport: encode: %w", err))
 			continue
 		}
@@ -256,25 +265,37 @@ func (u *UDP) writeFrames(addr *net.UDPAddr, to proto.ProcessID, frames [][]byte
 	} else {
 		packed, err := wire.PackFrames(frames)
 		if err != nil {
+			u.dropped.Add(uint64(len(frames)))
 			fail(fmt.Errorf("transport: pack: %w", err))
 			return
 		}
 		datagram = packed
 	}
 	if _, err := u.conn.WriteToUDP(datagram, addr); err != nil {
+		u.dropped.Add(uint64(len(frames)))
 		fail(fmt.Errorf("transport: send to %v: %w", to, err))
 		return
 	}
-	u.sent.Add(1)
+	u.sent.Add(uint64(len(frames)))
+	u.datagrams.Add(1)
+	u.bytes.Add(uint64(len(datagram)))
 }
 
 // Recv implements Transport.
 func (u *UDP) Recv() <-chan proto.Message { return u.in }
 
-// Stats returns datagrams sent, received, and decode failures. It is
-// lock-free and safe to poll from any goroutine at any rate.
-func (u *UDP) Stats() (sent, received, decodeErrs uint64) {
-	return u.sent.Load(), u.received.Load(), u.decodeErrs.Load()
+// Stats implements StatsProvider: messages sent/received/dropped, decode
+// failures, and wire bytes/datagrams written. It is lock-free and safe to
+// poll from any goroutine at any rate.
+func (u *UDP) Stats() Stats {
+	return Stats{
+		Sent:       u.sent.Load(),
+		Received:   u.received.Load(),
+		Dropped:    u.dropped.Load(),
+		DecodeErrs: u.decodeErrs.Load(),
+		Bytes:      u.bytes.Load(),
+		Datagrams:  u.datagrams.Load(),
+	}
 }
 
 // Close implements Transport.

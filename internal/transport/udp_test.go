@@ -127,12 +127,15 @@ func TestUDPSendBatchPacksDatagrams(t *testing.T) {
 	if err := src.SendBatch(burst); err != nil {
 		t.Fatal(err)
 	}
-	sent, _, _ := src.Stats()
-	if want := uint64(fanout); sent != want {
-		t.Errorf("burst of %d messages used %d datagrams, want %d", len(burst), sent, want)
+	datagrams := src.Stats().Datagrams
+	if want := uint64(fanout); datagrams != want {
+		t.Errorf("burst of %d messages used %d datagrams, want %d", len(burst), datagrams, want)
 	}
-	if got, want := sent*2, uint64(len(burst)); got != want {
-		t.Errorf("datagram reduction below 2x: %d datagrams for %d messages", sent, len(burst))
+	if got, want := datagrams*2, uint64(len(burst)); got != want {
+		t.Errorf("datagram reduction below 2x: %d datagrams for %d messages", datagrams, len(burst))
+	}
+	if st := src.Stats(); st.Sent != uint64(len(burst)) || st.Bytes == 0 {
+		t.Errorf("stats = %+v, want %d messages sent and nonzero bytes", st, len(burst))
 	}
 	for i, p := range peers {
 		m1 := recvOne(t, p, 2*time.Second)
@@ -143,9 +146,8 @@ func TestUDPSendBatchPacksDatagrams(t *testing.T) {
 		if m2.Request[0].Seq != uint64(i+1) {
 			t.Fatalf("peer %d got request %+v", i, m2.Request)
 		}
-		_, received, _ := p.Stats()
-		if received != 1 {
-			t.Errorf("peer %d received %d datagrams, want 1", i, received)
+		if received := p.Stats().Received; received != 2 {
+			t.Errorf("peer %d received %d messages, want 2", i, received)
 		}
 	}
 }
@@ -162,9 +164,8 @@ func TestUDPSendBatchSingleStaysCompatible(t *testing.T) {
 	if got.Kind != proto.SubscribeMsg || got.From != 1 {
 		t.Fatalf("got %+v", got)
 	}
-	sent, _, _ := a.Stats()
-	if sent != 1 {
-		t.Errorf("sent = %d datagrams, want 1", sent)
+	if st := a.Stats(); st.Datagrams != 1 || st.Sent != 1 {
+		t.Errorf("stats = %+v, want 1 message in 1 datagram", st)
 	}
 }
 
@@ -190,9 +191,9 @@ func TestUDPSendBatchSplitsOversizedBursts(t *testing.T) {
 			t.Fatalf("message %d out of order: %+v", i, got.Reply[0].ID)
 		}
 	}
-	sent, _, _ := a.Stats()
-	if sent <= 1 || sent >= uint64(len(burst)) {
-		t.Errorf("oversized burst used %d datagrams, want between 2 and %d", sent, len(burst)-1)
+	datagrams := a.Stats().Datagrams
+	if datagrams <= 1 || datagrams >= uint64(len(burst)) {
+		t.Errorf("oversized burst used %d datagrams, want between 2 and %d", datagrams, len(burst)-1)
 	}
 }
 
@@ -225,12 +226,11 @@ func TestUDPDecodeErrorCounter(t *testing.T) {
 
 	deadline := time.Now().Add(2 * time.Second)
 	for {
-		_, _, decodeErrs := b.Stats()
-		if decodeErrs == 2 {
+		if b.Stats().DecodeErrs == 2 {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("decodeErrs = %d, want 2", decodeErrs)
+			t.Fatalf("decodeErrs = %d, want 2", b.Stats().DecodeErrs)
 		}
 		time.Sleep(time.Millisecond)
 	}
@@ -339,8 +339,10 @@ func TestUDPStatsConcurrentSendHammer(t *testing.T) {
 	close(stop)
 	pollers.Wait()
 
-	sent, _, _ := a.Stats()
-	if want := uint64(goroutines * iters * 2); sent != want {
-		t.Errorf("sent = %d datagrams, want exactly %d", sent, want)
+	if got, want := a.Stats().Datagrams, uint64(goroutines*iters*2); got != want {
+		t.Errorf("sent = %d datagrams, want exactly %d", got, want)
+	}
+	if got, want := a.Stats().Sent, uint64(goroutines*iters*4); got != want {
+		t.Errorf("sent = %d messages, want exactly %d", got, want)
 	}
 }

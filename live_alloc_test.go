@@ -93,6 +93,66 @@ func TestLiveNodeRoundAllocs(t *testing.T) {
 	}
 }
 
+// steadyCtlNode is steadyNode with the control plane's latency collector
+// attached as the node's tracer, as ClusterConfig.ControlPlane wires it.
+func steadyCtlNode(t testing.TB) (*Node, *consumingTransport, *LatencyCollector) {
+	t.Helper()
+	tr := newConsumingTransport()
+	col := NewLatencyCollector()
+	seeds := make([]ProcessID, 0, 15)
+	for p := ProcessID(2); p <= 16; p++ {
+		seeds = append(seeds, p)
+	}
+	n, err := NewNode(1, tr, WithSeeds(seeds...), WithTracer(col))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		n.gossipRound()
+	}
+	return n, tr, col
+}
+
+// TestLiveNodeRoundAllocsWithControlPlane extends the zero-alloc gate to
+// an observable node: with the latency collector recording trace events,
+// the steady round must still cost at most 2 allocations — metrics must
+// be free on the hot path.
+func TestLiveNodeRoundAllocsWithControlPlane(t *testing.T) {
+	n, tr, col := steadyCtlNode(t)
+	burst := steadyBurst(t, n)
+	n.handleBurst(burst)
+
+	allocs := testing.AllocsPerRun(200, func() {
+		n.gossipRound()
+		n.handleBurst(burst)
+	})
+	if allocs > 2 {
+		t.Errorf("observable steady-state round allocates %v times, want <= 2", allocs)
+	}
+	if tr.messages == 0 {
+		t.Fatal("transport saw no traffic; the round path is not live")
+	}
+	// The collector really was on the path: the local publish in
+	// steadyBurst delivered at the origin and stamped a publish time.
+	if _, count, _ := col.Hist(); count != 0 {
+		t.Fatalf("single node observed %d remote deliveries", count)
+	}
+}
+
+// BenchmarkLiveNodeRoundCtl is BenchmarkLiveNodeRound with the control
+// plane's latency collector attached; allocs/op must not regress.
+func BenchmarkLiveNodeRoundCtl(b *testing.B) {
+	n, _, _ := steadyCtlNode(b)
+	burst := steadyBurst(b, n)
+	n.handleBurst(burst)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.gossipRound()
+		n.handleBurst(burst)
+	}
+}
+
 // TestLiveNodeRoundEmitsBatches pins the emission shape: one gossip round
 // of fanout F leaves as one SendBatch carrying F messages.
 func TestLiveNodeRoundEmitsBatches(t *testing.T) {
