@@ -224,14 +224,22 @@ func checkRegression(baselinePath string, fresh []Entry, tolerance float64) ([]s
 // remaining allocations are the protocol's own. The delayed variant runs
 // a two-cluster topology whose WAN link takes 1-3 rounds; its sequential
 // ("workers=1") flavor opts into Options.EmissionReuse so the zero-alloc
-// ceiling is meaningful there too.
-func steadyCluster(n, workers, warmRounds int, async, delayed bool) (*sim.Cluster, error) {
+// ceiling is meaningful there too. The clock selects the time base: on
+// sim.ClockEvent the cluster runs the timer-wheel executors with a
+// millisecond uniform delay model, so every period exercises wheel pops,
+// tick rescheduling, and mid-period arrival drains.
+func steadyCluster(n, workers, warmRounds int, async, delayed bool, clock sim.Clock) (*sim.Cluster, error) {
 	opts := sim.DefaultOptions(n)
 	opts.Seed = 9
 	opts.Tau = 0
 	opts.Lpbcast.AssumeFromDigest = true
 	opts.Workers = workers
 	opts.Async = async
+	opts.Clock = clock
+	if clock == sim.ClockEvent {
+		opts.Delay = fault.Millis{Model: fault.UniformDelay{Min: 10, Max: 180}}
+		opts.EmissionReuse = workers == 0
+	}
 	if delayed {
 		opts.Topology = fault.TwoCluster{
 			Split: proto.ProcessID(n / 2),
@@ -272,7 +280,7 @@ func executorSuite(quick bool) []benchCase {
 		n, warm = 200, 60
 		infectionN = 500
 	}
-	steady := func(workers int, maxAllocs int64, async, delayed bool) benchCase {
+	steady := func(workers int, maxAllocs int64, async, delayed bool, clock sim.Clock) benchCase {
 		label := "workers=1"
 		if workers != 0 {
 			label = "workers=max"
@@ -283,6 +291,8 @@ func executorSuite(quick bool) []benchCase {
 			kind = "steady-async-period"
 		case delayed:
 			kind = "steady-delayed-round"
+		case clock == sim.ClockEvent:
+			kind = "steady-event-round"
 		}
 		var cluster *sim.Cluster // built once, reused across b.N scaling runs
 		return benchCase{
@@ -292,7 +302,7 @@ func executorSuite(quick bool) []benchCase {
 			fn: func(b *testing.B) {
 				if cluster == nil {
 					var err error
-					if cluster, err = steadyCluster(n, workers, warm, async, delayed); err != nil {
+					if cluster, err = steadyCluster(n, workers, warm, async, delayed, clock); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -314,23 +324,30 @@ func executorSuite(quick bool) []benchCase {
 	return []benchCase{
 		// The sequential executor is the cloning reference; it is gated
 		// only relative to its own baseline.
-		steady(0, -1, false, false),
+		steady(0, -1, false, false, sim.ClockRounds),
 		// The sharded executor runs engines in emission-reuse mode over
 		// retained buffers and persistent workers: the zero-alloc
 		// acceptance criterion, as an absolute ceiling.
-		steady(benchWorkers(), 2, false, false),
+		steady(benchWorkers(), 2, false, false, sim.ClockRounds),
 		// The async pair measures the wavefront period executor: the
 		// sequential reference, and the sharded speculative schedule under
 		// the same zero-alloc ceiling as its synchronous sibling.
-		steady(0, -1, true, false),
-		steady(benchWorkers(), 2, true, false),
+		steady(0, -1, true, false, sim.ClockRounds),
+		steady(benchWorkers(), 2, true, false, sim.ClockRounds),
 		// The delayed pair routes WAN traffic through the in-flight delay
 		// ring (two-cluster topology, 1-3 round WAN delay). Both flavors
 		// carry the absolute ceiling — the sequential one runs in
 		// EmissionReuse mode — so the ring can never silently start
 		// allocating in steady state.
-		steady(0, 2, false, true),
-		steady(benchWorkers(), 2, false, true),
+		steady(0, 2, false, true, sim.ClockRounds),
+		steady(benchWorkers(), 2, false, true, sim.ClockRounds),
+		// The event pair runs the same steady state on the virtual-time
+		// scheduler: periods as timer-wheel events and a millisecond
+		// uniform delay model draining arrivals mid-period. Both flavors
+		// carry the absolute zero-alloc ceiling (the sequential one in
+		// EmissionReuse mode), matching the round executors.
+		steady(0, 2, false, false, sim.ClockEvent),
+		steady(benchWorkers(), 2, false, false, sim.ClockEvent),
 		pubsubSteadyCase(quick),
 		pubsubInfectionCase(quick),
 		{

@@ -14,13 +14,19 @@
 //
 // The -matrix flag runs a scenario sweep instead of the figures: a
 // semicolon-separated grid of n (system sizes), f (fanouts), eps (loss
-// probabilities), tau (crash fractions), delay (fixed per-message delivery
-// delays in rounds), topics (pub/sub topic counts — cells with topics > 1
-// run a Zipf-popularity pubsub workload and trace the hottest topic),
-// proto (lpbcast, pbcast/partial, pbcast/total), rounds, repeats and
-// seed. Cells run concurrently and the sweep is
+// probabilities), tau (crash fractions), delay (delay-model specs —
+// "fixed:2", "uniform:1-4" in whole rounds, "ms:fixed:30" in virtual
+// milliseconds on the event clock; a bare integer is the deprecated
+// whole-rounds shorthand), topics (pub/sub topic counts — cells with
+// topics > 1 run a Zipf-popularity pubsub workload and trace the hottest
+// topic), proto (lpbcast, pbcast/partial, pbcast/total), rounds, repeats
+// and seed. Cells run concurrently and the sweep is
 // deterministic for a given spec. The "latency" figure compares infection
 // latency across network topologies (flat, two-cluster WAN, hierarchical).
+//
+// The -clock flag selects the simulator's time base (rounds or event); the
+// event clock runs gossip periods and link delays on a virtual-time timer
+// wheel, with -period-ms setting the period length in virtual ms.
 package main
 
 import (
@@ -44,10 +50,12 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("lpbcast-sim", flag.ContinueOnError)
 	var (
-		fig     = fs.String("fig", "all", "figure to print: 5a, 5b, 6a, 6b, 7a, 7b, crash, latency, all")
-		quick   = fs.Bool("quick", false, "use reduced repeats/rounds")
-		workers = fs.Int("workers", -1, "executor shards per cluster, for synchronous rounds and async periods alike (-1 = GOMAXPROCS, 0/1 = sequential)")
-		matrix  = fs.String("matrix", "", `scenario sweep spec, e.g. "n=500,1000;f=3,4;eps=0.05;tau=0.01;proto=lpbcast"`)
+		fig      = fs.String("fig", "all", "figure to print: 5a, 5b, 6a, 6b, 7a, 7b, crash, latency, all")
+		quick    = fs.Bool("quick", false, "use reduced repeats/rounds")
+		workers  = fs.Int("workers", -1, "executor shards per cluster, for synchronous rounds and async periods alike (-1 = GOMAXPROCS, 0/1 = sequential)")
+		matrix   = fs.String("matrix", "", `scenario sweep spec, e.g. "n=500,1000;f=3,4;eps=0.05;tau=0.01;proto=lpbcast"`)
+		clock    = fs.String("clock", "rounds", "time base: rounds (lockstep) or event (virtual-time scheduler)")
+		periodMs = fs.Int("period-ms", 0, "gossip period in virtual ms on the event clock (0 = default 100)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,6 +66,15 @@ func run(args []string) error {
 			workersSet = true
 		}
 	})
+	var rc sim.RunConfig
+	switch *clock {
+	case "rounds":
+	case "event":
+		rc.Clock = sim.ClockEvent
+	default:
+		return fmt.Errorf("unknown clock %q (want rounds or event)", *clock)
+	}
+	rc.PeriodMs = *periodMs
 
 	if *matrix != "" {
 		spec, err := parseMatrixSpec(*matrix)
@@ -68,8 +85,9 @@ func run(args []string) error {
 		// sharding inside every cell as well would only oversubscribe the
 		// machine; per-cell workers are opt-in here.
 		if workersSet {
-			spec.Workers = *workers
+			rc.Workers = *workers
 		}
+		spec.RunConfig = rc
 		cells, err := sim.RunMatrix(spec)
 		if err != nil {
 			return err
@@ -87,7 +105,8 @@ func run(args []string) error {
 	if *quick {
 		scale = sim.QuickScale()
 	}
-	scale = scale.WithWorkers(*workers)
+	rc.Workers = *workers
+	scale.RunConfig = rc
 
 	printers := map[string]func(sim.FigureScale) (*stats.Table, error){
 		"5a": sim.Figure5a,
@@ -153,7 +172,7 @@ func parseMatrixSpec(s string) (sim.MatrixSpec, error) {
 		case "tau":
 			spec.Taus, err = parseFloats(vals)
 		case "delay":
-			spec.Delays, err = parseInts(vals)
+			spec.DelaySpecs = parseStrings(vals)
 		case "topics":
 			spec.Topics, err = parseInts(vals)
 		case "proto":
@@ -177,6 +196,16 @@ func parseMatrixSpec(s string) (sim.MatrixSpec, error) {
 		return spec, fmt.Errorf("matrix: the n dimension is required")
 	}
 	return spec, nil
+}
+
+// parseStrings trims each comma-separated value, keeping empty entries
+// (an empty delay spec selects the zero-delay fast path).
+func parseStrings(vals []string) []string {
+	out := make([]string, 0, len(vals))
+	for _, v := range vals {
+		out = append(out, strings.TrimSpace(v))
+	}
+	return out
 }
 
 func parseInts(vals []string) ([]int, error) {

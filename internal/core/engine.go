@@ -86,6 +86,19 @@ type Config struct {
 	// MaxRetransmitPerGossip caps how many missing ids are requested per
 	// incoming gossip (0 = no cap).
 	MaxRetransmitPerGossip int
+	// RetransmitTimeout re-arms unanswered retransmission requests: a
+	// requested id still missing RetransmitTimeout time units after the
+	// request was sent is re-requested — from the Logger when one is
+	// configured, otherwise from a fresh random view member (the original
+	// digest sender may have evicted the notification from its archive).
+	// The unit is whatever `now` the driver ticks with: gossip rounds on
+	// the round clock, virtual milliseconds on the event clock. The timer
+	// fires on the periodic tick, so resolution is one gossip period; at
+	// most one re-request message is emitted per period, carrying up to
+	// MaxRetransmitPerGossip ids. 0 disables the timer (a lost request or
+	// reply then loses the pull forever, the pre-timer behavior). Requires
+	// Retransmit.
+	RetransmitTimeout uint64
 	// MembershipEvery gossips membership information (subs/unsubs) only on
 	// every k-th emission — the §6.1 frequency experiment. 0 or 1 attaches
 	// membership to every gossip (the paper's default; §6.1 reports that
@@ -146,6 +159,9 @@ func (c Config) Validate() error {
 	if c.Logger != proto.NilProcess && !c.Retransmit {
 		return errors.New("core: Logger requires Retransmit")
 	}
+	if c.RetransmitTimeout > 0 && !c.Retransmit {
+		return errors.New("core: RetransmitTimeout requires Retransmit")
+	}
 	return nil
 }
 
@@ -160,6 +176,7 @@ type Stats struct {
 	RetransmitRequests uint64
 	RetransmitServed   uint64
 	RetransmitMisses   uint64
+	RetransmitTimeouts uint64 // ids re-requested after RetransmitTimeout expired
 	EventsOverflowed   uint64 // notifications evicted from events by |events|m
 }
 
@@ -198,7 +215,31 @@ type Engine struct {
 	composeRNG         uint64
 	composedTargets    int
 	composedMembership bool
+
+	// Retransmission-timeout state (Config.RetransmitTimeout): requested
+	// ids awaiting a reply, their re-request deadlines, and the number of
+	// due ids the outstanding compose re-requested (its deferred mutation).
+	pending             []pendingRetransmit
+	composedRetransmits int
+	scratchRequest      []proto.EventID
+	scratchReqTarget    []proto.ProcessID
 }
+
+// pendingRetransmit is one outstanding retransmission request: an id the
+// engine asked for but has not seen yet.
+type pendingRetransmit struct {
+	id       proto.EventID
+	deadline uint64 // re-request once now reaches this
+	attempts int    // re-requests so far; capped by maxRetransmitAttempts
+}
+
+// maxPendingRetransmits bounds the pending-request table — like every
+// other engine buffer it must not grow with system size or run length.
+const maxPendingRetransmits = 1024
+
+// maxRetransmitAttempts bounds how many times one id is re-requested
+// before the engine gives up on pulling it.
+const maxRetransmitAttempts = 8
 
 // New creates an engine for process self. deliver may be nil (deliveries
 // are then only counted).
@@ -460,6 +501,9 @@ func (e *Engine) handleGossip(out []proto.Message, g proto.Gossip, now uint64) [
 		return out
 	}
 	e.stats.RetransmitRequests += uint64(len(missing))
+	if e.cfg.RetransmitTimeout > 0 {
+		e.trackPending(missing, now)
+	}
 	// rpbcast-style third phase: pull from the dedicated logger when one
 	// is configured (and we are not it), otherwise from the gossip sender.
 	server := g.From
@@ -472,6 +516,122 @@ func (e *Engine) handleGossip(out []proto.Message, g proto.Gossip, now uint64) [
 		To:      server,
 		Request: missing,
 	})
+}
+
+// trackPending registers freshly requested ids for the retransmission
+// timer: each becomes due for a re-request RetransmitTimeout time units
+// from now. A full table drops the newest requests — the older entries
+// are closer to their deadline and losing a pending slot only costs the
+// timer, not the original request.
+func (e *Engine) trackPending(ids []proto.EventID, now uint64) {
+	deadline := now + e.cfg.RetransmitTimeout
+	for _, id := range ids {
+		if len(e.pending) >= maxPendingRetransmits {
+			return
+		}
+		if e.pendingContains(id) {
+			continue
+		}
+		e.pending = append(e.pending, pendingRetransmit{id: id, deadline: deadline})
+	}
+}
+
+// pendingContains reports whether id already has a pending entry.
+func (e *Engine) pendingContains(id proto.EventID) bool {
+	for i := range e.pending {
+		if e.pending[i].id == id {
+			return true
+		}
+	}
+	return false
+}
+
+// composeRetransmit builds the periodic re-request for timed-out pulls:
+// the due-and-still-missing ids, in request order, capped like a regular
+// pull at MaxRetransmitPerGossip. Like the rest of TickCompose it is
+// side-effect-free apart from the membership RNG (the fresh target draw),
+// which TickAbort rewinds; attempt counts and deadlines move only in
+// TickCommit.
+func (e *Engine) composeRetransmit(now uint64, out []proto.Message) []proto.Message {
+	if e.cfg.RetransmitTimeout == 0 || len(e.pending) == 0 {
+		return out
+	}
+	req := e.scratchRequest[:0]
+	max := e.cfg.MaxRetransmitPerGossip
+	for i := range e.pending {
+		p := &e.pending[i]
+		if p.deadline > now || e.knows(p.id) {
+			continue
+		}
+		if max > 0 && len(req) >= max {
+			break
+		}
+		req = append(req, p.id)
+	}
+	e.scratchRequest = req
+	if len(req) == 0 {
+		return out
+	}
+	// The original request went to the digest's sender, who did not answer
+	// — maybe the message was lost, maybe its archive evicted the
+	// notification. Retry against the Logger when configured, otherwise
+	// against a fresh random view member.
+	server := e.cfg.Logger
+	if server == proto.NilProcess || server == e.self {
+		e.scratchReqTarget = e.mem.AppendTargets(e.scratchReqTarget[:0], 1)
+		if len(e.scratchReqTarget) == 0 {
+			return out
+		}
+		server = e.scratchReqTarget[0]
+	}
+	if !e.reuseEmission {
+		req = append([]proto.EventID(nil), req...)
+	}
+	e.composedRetransmits = len(req)
+	return append(out, proto.Message{
+		Kind:    proto.RetransmitRequestMsg,
+		From:    e.self,
+		To:      server,
+		Request: req,
+	})
+}
+
+// commitRetransmit applies the deferred retransmission-timer mutations:
+// answered ids leave the table, the ids the compose re-requested advance
+// their attempt count and deadline (giving up past maxRetransmitAttempts),
+// and the stats counter moves. The walk mirrors composeRetransmit's
+// selection exactly — same order, same skip conditions — so the first
+// composedRetransmits due entries are precisely the re-requested ones.
+// Re-requested entries rotate to the back of the table, so when the
+// MaxRetransmitPerGossip cap leaves some due entries out of a period's
+// re-request, the leftovers move to the head of the next one instead of
+// being starved by perpetually re-arming earlier entries.
+func (e *Engine) commitRetransmit(now uint64) {
+	requested := e.composedRetransmits
+	e.composedRetransmits = 0
+	if e.cfg.RetransmitTimeout == 0 || len(e.pending) == 0 {
+		return
+	}
+	e.stats.RetransmitTimeouts += uint64(requested)
+	kept := e.pending[:0]
+	var rearmed []pendingRetransmit
+	for _, p := range e.pending {
+		if e.knows(p.id) {
+			continue // answered (or assumed) since the request went out
+		}
+		if p.deadline <= now && requested > 0 {
+			requested--
+			p.attempts++
+			if p.attempts >= maxRetransmitAttempts {
+				continue // give up: the id stays missing
+			}
+			p.deadline = now + e.cfg.RetransmitTimeout
+			rearmed = append(rearmed, p)
+			continue
+		}
+		kept = append(kept, p)
+	}
+	e.pending = append(kept, rearmed...)
 }
 
 // maxWatermarkExpansion bounds how many unknown sequence numbers a single
@@ -568,6 +728,9 @@ func (e *Engine) Tick(now uint64) []proto.Message {
 			gc := msgs[i].Gossip.Clone()
 			msgs[i].Gossip = &gc
 		}
+		if msgs[i].Request != nil {
+			msgs[i].Request = append([]proto.EventID(nil), msgs[i].Request...)
+		}
 	}
 	return msgs
 }
@@ -605,6 +768,7 @@ func (e *Engine) TickCompose(now uint64, out []proto.Message) []proto.Message {
 	e.composeRNG = e.mem.RNGState()
 	e.composedTargets = 0
 	e.composedMembership = false
+	e.composedRetransmits = 0
 	ticks := e.ticks + 1 // the tick number this emission will commit as
 	var targets []proto.ProcessID
 	var g *proto.Gossip
@@ -652,7 +816,7 @@ func (e *Engine) TickCompose(now uint64, out []proto.Message) []proto.Message {
 		})
 	}
 	e.composedTargets = len(targets)
-	return out
+	return e.composeRetransmit(now, out)
 }
 
 // TickAbort discards the outstanding composed emission, rewinding the
@@ -662,6 +826,7 @@ func (e *Engine) TickAbort() {
 	e.mem.RestoreRNGState(e.composeRNG)
 	e.composedTargets = 0
 	e.composedMembership = false
+	e.composedRetransmits = 0
 }
 
 // TickCommit applies the deferred mutations of the outstanding composed
@@ -675,8 +840,10 @@ func (e *Engine) TickCommit(now uint64) {
 	if e.composedTargets == 0 {
 		// The compose emitted nothing (empty view): the period still
 		// elapsed, but no buffer was consumed — matching TickAppend's
-		// historical early return.
+		// historical early return. With no view there is nobody to
+		// re-request from either, so the retransmission timer idles.
 		e.composedMembership = false
+		e.composedRetransmits = 0
 		return
 	}
 	e.stats.GossipsSent += uint64(e.composedTargets)
@@ -687,6 +854,7 @@ func (e *Engine) TickCommit(now uint64) {
 	e.events.Clear()
 	e.eventWeights = nil
 	e.composedTargets = 0
+	e.commitRetransmit(now)
 }
 
 // digestIDs returns the identifier digest to attach to an outgoing gossip.

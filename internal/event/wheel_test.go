@@ -1,0 +1,182 @@
+package event
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// refTimer mirrors Timer for the oracle.
+type refTimer struct {
+	at, seq uint64
+	kind    uint8
+	ref     uint32
+}
+
+// TestWheelOracle checks the wheel's pop order against a sort by
+// (at, kind, seq) over randomized schedules spanning all three levels,
+// interleaving pops with fresh schedules so cascades happen mid-flight.
+func TestWheelOracle(t *testing.T) {
+	r := rng.New(7)
+	for trial := 0; trial < 20; trial++ {
+		w := NewWheel()
+		var ref []refTimer
+		schedule := func(count int) {
+			for i := 0; i < count; i++ {
+				var delta uint64
+				switch r.Intn(4) {
+				case 0:
+					delta = 1 + uint64(r.Intn(255)) // level 0
+				case 1:
+					delta = 256 + uint64(r.Intn(65536-256)) // level 1
+				case 2:
+					delta = 65536 + uint64(r.Intn(1<<22)) // level 2
+				case 3:
+					delta = 1 + uint64(r.Intn(8)) // same-instant pileups
+				}
+				at := w.Now() + delta
+				kind := uint8(r.Intn(3))
+				w.Schedule(at, kind, uint32(i))
+				ref = append(ref, refTimer{at: at, seq: w.seq, kind: kind, ref: uint32(i)})
+			}
+		}
+		schedule(200)
+		// Pop roughly half the pending instants, rescheduling more as we
+		// go so entries cascade across boundaries while lists are live.
+		for pops := 0; pops < 50; pops++ {
+			at, ok := w.Next()
+			if !ok {
+				break
+			}
+			got := w.PopAt(at)
+			ref = checkBatch(t, ref, at, got)
+			if pops%10 == 0 {
+				schedule(20)
+			}
+		}
+		for {
+			at, ok := w.Next()
+			if !ok {
+				break
+			}
+			ref = checkBatch(t, ref, at, w.PopAt(at))
+		}
+		if w.Len() != 0 {
+			t.Fatalf("trial %d: drained wheel still reports %d pending", trial, w.Len())
+		}
+		if len(ref) != 0 {
+			t.Fatalf("trial %d: %d reference timers never popped", trial, len(ref))
+		}
+	}
+}
+
+// checkBatch asserts got is exactly the reference's due-at-at prefix in
+// (kind, seq) order and removes it from the reference.
+func checkBatch(t *testing.T, ref []refTimer, at uint64, got []Timer) []refTimer {
+	t.Helper()
+	var due []refTimer
+	rest := ref[:0]
+	for _, rt := range ref {
+		if rt.at == at {
+			due = append(due, rt)
+		} else {
+			if rt.at < at {
+				t.Fatalf("reference timer at %d skipped by pop at %d", rt.at, at)
+			}
+			rest = append(rest, rt)
+		}
+	}
+	sort.Slice(due, func(i, j int) bool {
+		if due[i].kind != due[j].kind {
+			return due[i].kind < due[j].kind
+		}
+		return due[i].seq < due[j].seq
+	})
+	if len(due) != len(got) {
+		t.Fatalf("pop at %d: got %d timers, reference has %d", at, len(got), len(due))
+	}
+	for i := range got {
+		g, want := got[i], due[i]
+		if g.At != want.at || g.Seq != want.seq || g.Kind != want.kind || g.Ref != want.ref {
+			t.Fatalf("pop at %d position %d: got %+v, want %+v", at, i, g, want)
+		}
+	}
+	return rest
+}
+
+// TestWheelCascadeOrder pins the canonical tie order across a cascade: an
+// entry scheduled early for instant T lands in level 1 and cascades, while
+// a later-scheduled entry for T inserts directly into level 0 — the pop
+// must still come out in schedule (seq) order, not wheel-internal order.
+func TestWheelCascadeOrder(t *testing.T) {
+	w := NewWheel()
+	const target = 700         // level 1 relative to now=0
+	w.Schedule(target, 1, 100) // cascades: scheduled first
+	w.Schedule(256, 0, 0)      // advances now across the boundary
+	if at, ok := w.Next(); !ok || at != 256 {
+		t.Fatalf("Next = %d,%v want 256", at, ok)
+	}
+	w.PopAt(256)
+	w.Schedule(target, 1, 200) // direct level-0 insert: scheduled second
+	w.Schedule(target, 0, 300) // lower kind fires first despite later seq
+	if at, ok := w.Next(); !ok || at != target {
+		t.Fatalf("Next = %d,%v want %d", at, ok, target)
+	}
+	got := w.PopAt(target)
+	if len(got) != 3 {
+		t.Fatalf("got %d timers, want 3", len(got))
+	}
+	if got[0].Ref != 300 || got[1].Ref != 100 || got[2].Ref != 200 {
+		t.Fatalf("pop order refs = %d,%d,%d want 300,100,200", got[0].Ref, got[1].Ref, got[2].Ref)
+	}
+}
+
+func TestWheelScheduleGuards(t *testing.T) {
+	w := NewWheel()
+	w.PopAt(10)
+	for _, at := range []uint64{0, 9, 10} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Schedule(%d) with now=10 did not panic", at)
+				}
+			}()
+			w.Schedule(at, 0, 0)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Schedule beyond MaxHorizon did not panic")
+			}
+		}()
+		w.Schedule(10+MaxHorizon, 0, 0)
+	}()
+}
+
+// TestWheelSteadyAllocs drives a steady schedule/pop cycle — the shape of
+// a simulated period with rescheduling ticks and arrivals — and requires
+// the wheel itself to stay off the allocator once warm.
+func TestWheelSteadyAllocs(t *testing.T) {
+	w := NewWheel()
+	const n = 64
+	for i := 0; i < n; i++ {
+		w.Schedule(w.Now()+100, 0, uint32(i))
+	}
+	step := func() {
+		at, ok := w.Next()
+		if !ok {
+			t.Fatal("empty wheel mid-test")
+		}
+		for _, tm := range w.PopAt(at) {
+			w.Schedule(at+100+uint64(tm.Ref%7), tm.Kind, tm.Ref)
+		}
+	}
+	for i := 0; i < 1000; i++ { // warm: grows arena and due scratch
+		step()
+	}
+	if avg := testing.AllocsPerRun(100, step); avg != 0 {
+		t.Fatalf("steady wheel step allocates %v/op, want 0", avg)
+	}
+}

@@ -1,0 +1,328 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// runBothClock runs the same infection experiment through the sequential
+// and the sharded executor on the event clock and returns both results.
+func runBothClock(t *testing.T, opts Options, rounds, repeats, workers int) (seq, par InfectionResult) {
+	t.Helper()
+	opts.Clock = ClockEvent
+	return runBoth(t, opts, rounds, repeats, workers)
+}
+
+// eventTape runs one cluster for rounds periods and returns the traced
+// event's per-round delivery tape plus the per-round network counters —
+// the byte-level observables the bridge and equivalence tests compare.
+func eventTape(t *testing.T, opts Options, rounds int) (tape []int, nets []NetStats) {
+	t.Helper()
+	c, err := NewCluster(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ev, err := c.PublishAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tape = append(tape, c.DeliveredCount(ev.ID))
+	nets = append(nets, c.NetStats())
+	for r := 0; r < rounds; r++ {
+		c.RunRound()
+		tape = append(tape, c.DeliveredCount(ev.ID))
+		nets = append(nets, c.NetStats())
+		assertConserved(t, c.NetStats())
+	}
+	return tape, nets
+}
+
+// TestEventBridgeMatchesRoundClock is the bridge oracle: a rounds-granular
+// delay model replayed through the event core — gossip periods as timer
+// events, the in-flight ring drained by arrival events — must reproduce
+// the round executor's delivery tapes and network counters byte for byte,
+// because every arrival and tick lands exactly on a period boundary and
+// replays the reference drain-then-tick order. Covers the zero-delay §5.1
+// network, both delay-model kinds, a delayed topology with a scheduled
+// partition, and the sharded event executor against the round reference.
+func TestEventBridgeMatchesRoundClock(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name string
+		mut  func(*Options)
+	}{
+		{"zero-delay", func(o *Options) {}},
+		{"fixed", func(o *Options) { o.Delay = fault.FixedDelay{Rounds: 2} }},
+		{"uniform", func(o *Options) { o.Delay = fault.UniformDelay{Min: 0, Max: 3} }},
+		{"two-cluster/partition", func(o *Options) {
+			o.Topology = wanTopologyFor(o.N)
+			o.Partitions = []fault.Partition{{From: 3, To: 6, Classes: []fault.LinkClass{fault.LinkWAN}}}
+		}},
+		{"retransmit", func(o *Options) {
+			o.Epsilon = 0.15
+			o.Lpbcast.AssumeFromDigest = false
+			o.Lpbcast.Retransmit = true
+			o.Lpbcast.ArchiveSize = 500
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			opts := DefaultOptions(250)
+			opts.Seed = 17
+			opts.Horizon = 12
+			opts.Lpbcast.AssumeFromDigest = true
+			tc.mut(&opts)
+
+			roundTape, roundNets := eventTape(t, opts, 12)
+
+			for _, workers := range []int{0, 4} {
+				o := opts
+				o.Clock = ClockEvent
+				o.Workers = workers
+				evTape, evNets := eventTape(t, o, 12)
+				label := fmt.Sprintf("workers=%d", workers)
+				assertIdentical(t, "bridge tape "+label, roundTape, evTape)
+				assertIdentical(t, "bridge netstats "+label, roundNets, evNets)
+			}
+		})
+	}
+}
+
+// TestEventShardedMatchesSequential is the event tentpole's correctness
+// oracle: on the event clock, the sharded executor must reproduce the
+// sequential event-queue reference bit for bit — across worker counts,
+// delay units (rounds and virtual milliseconds), and fault dimensions.
+func TestEventShardedMatchesSequential(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name string
+		mut  func(*Options)
+	}{
+		{"zero-delay", func(o *Options) {}},
+		{"ms-fixed", func(o *Options) { o.Delay = fault.Millis{Model: fault.FixedDelay{Rounds: 30}} }},
+		{"ms-uniform", func(o *Options) { o.Delay = fault.Millis{Model: fault.UniformDelay{Min: 10, Max: 250}} }},
+		{"rounds-uniform", func(o *Options) { o.Delay = fault.UniformDelay{Min: 0, Max: 2} }},
+		{"crashes", func(o *Options) { o.Tau = 0.02 }},
+		{"ms-retransmit", func(o *Options) {
+			o.Delay = fault.Millis{Model: fault.UniformDelay{Min: 5, Max: 120}}
+			o.Epsilon = 0.15
+			o.Lpbcast.AssumeFromDigest = false
+			o.Lpbcast.Retransmit = true
+			o.Lpbcast.ArchiveSize = 500
+			o.Lpbcast.RetransmitTimeout = 300 // ms: three periods
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			opts := DefaultOptions(250)
+			opts.Seed = 17
+			opts.WarmupRounds = 2
+			opts.Lpbcast.AssumeFromDigest = true
+			tc.mut(&opts)
+			var results []InfectionResult
+			for _, w := range []int{0, 2, 3, 8, 250} {
+				o := opts
+				o.Clock = ClockEvent
+				o.Workers = w
+				res, err := InfectionExperiment(o, 10, 2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				results = append(results, res)
+			}
+			for i := 1; i < len(results); i++ {
+				assertIdentical(t, fmt.Sprintf("event workers variant %d", i), results[0], results[i])
+			}
+		})
+	}
+}
+
+// TestEventShardedMatchesSequential10k is the acceptance-scale event run
+// (see bigN): sharded bit-identical to the sequential event reference at
+// N=10,000, with a millisecond delay model in force.
+func TestEventShardedMatchesSequential10k(t *testing.T) {
+	t.Parallel()
+	n := bigN()
+	opts := DefaultOptions(n)
+	opts.Seed = 3
+	opts.Lpbcast.AssumeFromDigest = true
+	opts.Delay = fault.Millis{Model: fault.UniformDelay{Min: 10, Max: 180}}
+	// 15 periods: the paper's ~log_F(n) infection horizon plus the up-to-
+	// two periods the 10-180ms delays keep each hop in the air.
+	seq, par := runBothClock(t, opts, 15, 1, runtime.GOMAXPROCS(0))
+	assertIdentical(t, fmt.Sprintf("event infection@%d", n), seq, par)
+	if last := seq.PerRound[len(seq.PerRound)-1]; last < float64(n)*0.95 {
+		t.Errorf("only %v of %d infected; dissemination failed", last, n)
+	}
+}
+
+// TestEventReuseWithPoison10k extends the poisoned-reuse property to the
+// event clock at acceptance scale: drained in-flight instants have their
+// recycled slots poisoned at the end of every period, so any consumer
+// holding an arrival past its instant diverges loudly from the sequential
+// reference.
+func TestEventReuseWithPoison10k(t *testing.T) {
+	t.Parallel()
+	for _, async := range []bool{false, true} {
+		async := async
+		t.Run(fmt.Sprintf("async=%v", async), func(t *testing.T) {
+			t.Parallel()
+			n := bigN()
+			opts := DefaultOptions(n)
+			opts.Seed = 3
+			opts.Async = async
+			opts.Clock = ClockEvent
+			opts.Lpbcast.AssumeFromDigest = true
+			opts.Delay = fault.Millis{Model: fault.UniformDelay{Min: 10, Max: 180}}
+			o := opts
+			o.Workers = 0
+			seq, err := InfectionExperiment(o, 10, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o = opts
+			o.Workers = 4 // explicitly sharded, even on a single-core runner
+			o.PoisonRecycled = true
+			par, err := InfectionExperiment(o, 10, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertIdentical(t, fmt.Sprintf("event poisoned reuse@%d", n), seq, par)
+		})
+	}
+}
+
+// TestEventAsyncMatchesSequential: the async event mode — per-process
+// static phase offsets inside the period, arrivals interleaved between
+// tick waves at their exact instants — must be identical between the
+// sequential walk and the sharded wavefront executor.
+func TestEventAsyncMatchesSequential(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name string
+		mut  func(*Options)
+	}{
+		{"zero-delay", func(o *Options) {}},
+		{"ms-fixed", func(o *Options) { o.Delay = fault.Millis{Model: fault.FixedDelay{Rounds: 40}} }},
+		{"ms-uniform", func(o *Options) { o.Delay = fault.Millis{Model: fault.UniformDelay{Min: 5, Max: 220}} }},
+		{"rounds-fixed", func(o *Options) { o.Delay = fault.FixedDelay{Rounds: 1} }},
+		{"crashes", func(o *Options) { o.Tau = 0.02 }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			for _, seed := range []uint64{1, 17} {
+				opts := asyncOpts(250, seed)
+				opts.WarmupRounds = 2
+				tc.mut(&opts)
+				var results []InfectionResult
+				for _, w := range []int{0, 3, 8} {
+					o := opts
+					o.Clock = ClockEvent
+					o.Workers = w
+					res, err := InfectionExperiment(o, 10, 2)
+					if err != nil {
+						t.Fatal(err)
+					}
+					results = append(results, res)
+				}
+				for i := 1; i < len(results); i++ {
+					assertIdentical(t, fmt.Sprintf("async event seed=%d variant %d", seed, i), results[0], results[i])
+				}
+				if last := results[0].PerRound[len(results[0].PerRound)-1]; last < 250*0.9 {
+					t.Errorf("seed=%d: only %v of 250 infected; dissemination failed", seed, last)
+				}
+			}
+		})
+	}
+}
+
+// TestEventMsDelaySemantics pins what a millisecond delay means on the
+// event clock: with ms:fixed:30 under a 100ms period, gossip emitted at a
+// period boundary arrives 30 virtual ms later — inside the next period,
+// before its ticks — so round 1 ends with everything in flight and round
+// 2 both delivers the late arrivals and forwards them on the same walk.
+func TestEventMsDelaySemantics(t *testing.T) {
+	t.Parallel()
+	opts := DefaultOptions(64)
+	opts.Seed = 4
+	opts.Epsilon = 0
+	opts.Tau = 0
+	opts.Clock = ClockEvent
+	opts.Lpbcast.AssumeFromDigest = true
+	opts.Delay = fault.Millis{Model: fault.FixedDelay{Rounds: 30}}
+	c, err := NewCluster(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ev, err := c.PublishAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunRound() // period 1: ticks at 100ms, arrivals due 130ms — in flight
+	if got := c.NowMs(); got != 100 {
+		t.Errorf("after one period NowMs = %d, want 100", got)
+	}
+	if got := c.DeliveredCount(ev.ID); got != 1 {
+		t.Errorf("round 1: delivered to %d processes, want just the publisher", got)
+	}
+	s := c.NetStats()
+	if s.InFlight == 0 || s.Delivered != 0 {
+		t.Errorf("round 1: want all traffic in flight, got %+v", s)
+	}
+	c.RunRound() // period 2: 130ms arrivals land, 200ms ticks forward them
+	if got := c.DeliveredCount(ev.ID); got <= 1 {
+		t.Errorf("round 2: delayed gossip arrived nowhere (delivered=%d)", got)
+	}
+	s = c.NetStats()
+	if s.DeliveredLate == 0 || s.DeliveredLate != s.Delivered {
+		t.Errorf("round 2: every ms-delayed delivery is late, got %+v", s)
+	}
+	assertConserved(t, s)
+}
+
+// TestEventRoundAllocs is the event-scheduler allocation gate: once the
+// cluster reaches steady state, a synchronous event-clock round — wheel
+// pops, tick rescheduling, emission, and dispatch — must not allocate
+// more than twice, sequential and sharded alike (the steady-event-round
+// bench entries gate the same bound in CI).
+func TestEventRoundAllocs(t *testing.T) {
+	for _, workers := range []int{0, 4} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			opts := DefaultOptions(1_000)
+			opts.Seed = 9
+			opts.Tau = 0
+			opts.Clock = ClockEvent
+			opts.Workers = workers
+			opts.EmissionReuse = workers == 0
+			opts.Lpbcast.AssumeFromDigest = true
+			opts.Delay = fault.Millis{Model: fault.UniformDelay{Min: 10, Max: 180}}
+			cluster, err := NewCluster(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cluster.Close()
+			if _, err := cluster.PublishAt(0); err != nil {
+				t.Fatal(err)
+			}
+			for r := 0; r < 300; r++ {
+				cluster.RunRound()
+			}
+			allocs := testing.AllocsPerRun(50, func() { cluster.RunRound() })
+			if allocs > 2 {
+				t.Errorf("steady-state event round allocates %v times, want <= 2", allocs)
+			}
+		})
+	}
+}

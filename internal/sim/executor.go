@@ -228,6 +228,9 @@ func newShardedExecutor(c *Cluster, w int) *shardedExecutor {
 		e.aOrder = make([]int, n)
 		e.aComposed = make([]bool, n)
 		e.aEmit = make([][]proto.Message, n)
+		// On the event clock the period order is the static phase order; the
+		// round clock shuffles aOrder afresh each period (copy is a no-op).
+		copy(e.aOrder, c.evOrder)
 	}
 	for s := 0; s < w; s++ {
 		ch := make(chan func(int), 1)
@@ -426,7 +429,5 @@ func (e *shardedExecutor) poisonRecycled() {
 		poisonMessages(e.tickBufs[s])
 		poisonMessages(e.resps[s])
 	}
-	if e.c.fl != nil {
-		e.c.fl.poisonDrained(e.c.now)
-	}
+	e.c.poisonInflight()
 }

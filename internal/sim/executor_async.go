@@ -183,7 +183,5 @@ func (e *shardedExecutor) poisonAsyncRecycled() {
 	}
 	poisonMessages(e.queue)
 	poisonMessages(e.next)
-	if e.c.fl != nil {
-		e.c.fl.poisonDrained(e.c.now)
-	}
+	e.c.poisonInflight()
 }

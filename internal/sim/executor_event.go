@@ -1,0 +1,153 @@
+package sim
+
+// This file is the sharded implementation of the event-clock executors
+// defined in event_exec.go, following the same division of labor as the
+// round-clock pair: the wheel walk, filtering, and commit order stay
+// sequential (they are the deterministic schedule), while tick emission,
+// speculative composition, and message handling fan out across the
+// persistent worker pool. Results are bit-for-bit identical to the
+// sequential event executors for any worker count.
+
+// runEventRound advances one synchronous gossip period on the event clock
+// across the worker shards. Cluster.RunRound has already advanced c.now.
+func (e *shardedExecutor) runEventRound() {
+	c := e.c
+	pEnd := c.now * c.periodMs
+	for {
+		at, ok := c.wheel.Next()
+		if !ok || at > pEnd {
+			break
+		}
+		batch := c.wheel.PopAt(at)
+		c.nowMs = at
+		e.queue = e.queue[:0]
+		c.arrivalDests = c.arrivalDests[:0]
+		pre := 0
+		ticks := 0
+		for _, tm := range batch {
+			if tm.Kind == evKindArrival {
+				e.queue, c.arrivalDests = c.drainArrivalsAt(at, e.queue, c.arrivalDests)
+				pre = len(e.queue)
+				continue
+			}
+			c.wheel.Schedule(at+c.periodMs, evKindTick, tm.Ref)
+			ticks++
+		}
+		if ticks > 0 {
+			// Synchronous ticks fire in lockstep at period boundaries, and
+			// the batch holds them in process index order (the wheel Seq
+			// invariant), so the round-clock tick fan-out — every shard
+			// emits its own index range, concatenated in shard order —
+			// reproduces the sequential emission order exactly.
+			if ticks != len(c.procs) {
+				panic("sim: synchronous event ticks desynchronized")
+			}
+			e.parallel(e.tickFn)
+			for s := 0; s < e.workers; s++ {
+				e.queue = append(e.queue, e.tickBufs[s]...)
+			}
+		}
+		e.dispatch(pre)
+	}
+	c.nowMs = pEnd
+	if e.poison {
+		e.poisonRecycled()
+	}
+}
+
+// eventArrivalBarrier is the sharded mirror of eventArrivalBarrierSeq:
+// each due instant's survivors are binned to their destination shards and
+// handled by the sharded wave barrier at their true virtual time.
+func (e *shardedExecutor) eventArrivalBarrier(limit uint64) {
+	c := e.c
+	if c.fl == nil {
+		return
+	}
+	for {
+		at, ok := c.wheel.Next()
+		if !ok || at > limit {
+			return
+		}
+		c.wheel.PopAt(at) // async wheels hold only arrival markers
+		c.nowMs = at
+		e.queue, c.arrivalDests = c.drainArrivalsAt(at, e.queue[:0], c.arrivalDests[:0])
+		for s := 0; s < e.workers; s++ {
+			e.inboxes[s] = e.inboxes[s][:0]
+		}
+		for pos, di := range c.arrivalDests {
+			if e.aComposed[di] {
+				abortTick(c.procs[di])
+				e.aComposed[di] = false
+			}
+			e.inboxes[e.shardOf[di]] = append(e.inboxes[e.shardOf[di]], routed{pos: pos, di: di})
+		}
+		if len(e.queue) > 0 {
+			e.asyncBarrier()
+		}
+	}
+}
+
+// runEventPeriodAsync advances one asynchronous gossip period on the event
+// clock across the worker shards: the wavefront schedule over the static
+// phase order, with sharded composes and barriers and the same arrival
+// sub-barrier positions as the sequential walk. Cluster.RunRound has
+// already advanced c.now.
+func (e *shardedExecutor) runEventPeriodAsync() {
+	c := e.c
+	n := len(c.procs)
+	for i := 0; i < n; i++ {
+		e.aComposed[i] = false
+	}
+	base := (c.now - 1) * c.periodMs
+	// e.aOrder was copied from the static phase order at construction.
+	lookahead := asyncLookahead(n)
+
+	front := 0
+	for front < n {
+		e.eventArrivalBarrier(base + c.phase[e.aOrder[front]])
+		windowEnd := front + lookahead
+		if windowEnd > n {
+			windowEnd = n
+		}
+		// Compose phase (parallel): sharded by process ownership.
+		e.waveFront, e.waveWindowEnd = front, windowEnd
+		e.parallel(e.composeFn)
+		// Commit walk (sequential), mirroring runEventPeriodAsyncSeq: a
+		// pending arrival instant at or before a tick's instant ends the
+		// wave so the arrival lands first.
+		e.queue = e.queue[:0]
+		for s := 0; s < e.workers; s++ {
+			e.inboxes[s] = e.inboxes[s][:0]
+		}
+		waveEnd := windowEnd
+		for k := front; k < windowEnd; k++ {
+			i := e.aOrder[k]
+			if c.crashes.Crashed(c.ids[i], c.now) {
+				continue
+			}
+			if na, pending := c.wheel.Next(); pending && na <= base+c.phase[i] {
+				waveEnd = k
+				break
+			}
+			if !e.aComposed[i] {
+				waveEnd = k
+				break
+			}
+			c.nowMs = base + c.phase[i]
+			commitTick(c.procs[i], c.now)
+			e.aComposed[i] = false // consumed: no emission outstanding
+			for _, m := range e.aEmit[i] {
+				pos := len(e.queue)
+				e.queue = append(e.queue, m)
+				e.asyncRoute(pos, m)
+			}
+		}
+		e.asyncBarrier()
+		front = waveEnd
+	}
+	e.eventArrivalBarrier(c.now * c.periodMs)
+	c.nowMs = c.now * c.periodMs
+	if e.poison {
+		e.poisonAsyncRecycled()
+	}
+}

@@ -29,7 +29,7 @@ func TestInfectionMatchesAnalysis(t *testing.T) {
 		t.Fatal(err)
 	}
 	theory := chain.ExpectedInfected(rounds)
-	res, err := InfectionExperiment(lpbcastInfectionOptions(n, 15, 3, 42, 0), rounds, 8)
+	res, err := InfectionExperiment(lpbcastInfectionOptions(n, 15, 3, 42, RunConfig{}), rounds, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +51,7 @@ func TestInfectionMatchesAnalysis(t *testing.T) {
 
 func TestInfectionMonotone(t *testing.T) {
 	t.Parallel()
-	res, err := InfectionExperiment(lpbcastInfectionOptions(60, 10, 3, 1, 0), 8, 3)
+	res, err := InfectionExperiment(lpbcastInfectionOptions(60, 10, 3, 1, RunConfig{}), 8, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +84,7 @@ func TestViewSizeBarelyAffectsLatency(t *testing.T) {
 	// Fig. 5(b): l has only a slight effect on dissemination speed.
 	at4 := map[int]float64{}
 	for _, l := range []int{10, 20} {
-		res, err := InfectionExperiment(lpbcastInfectionOptions(125, l, 3, 9, 0), 8, 6)
+		res, err := InfectionExperiment(lpbcastInfectionOptions(125, l, 3, 9, RunConfig{}), 8, 6)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -110,7 +110,7 @@ func TestPbcastSlowerThanLpbcast(t *testing.T) {
 	// Fig. 7(a): with the same partial view and fanout, lpbcast infects
 	// faster than pbcast (push vs pull, unlimited vs limited repetitions).
 	const rounds = 6
-	lp, err := InfectionExperiment(lpbcastInfectionOptions(125, 15, 5, 44, 0), rounds, 4)
+	lp, err := InfectionExperiment(lpbcastInfectionOptions(125, 15, 5, 44, RunConfig{}), rounds, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

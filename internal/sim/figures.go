@@ -16,10 +16,12 @@ type FigureScale struct {
 	Repeats       int
 	PublishRounds int
 	DrainRounds   int
-	// Workers selects the simulator's round executor (Options.Workers):
-	// 0/1 sequential, >1 that many shards, <0 GOMAXPROCS. Results are
-	// identical either way; only the wall clock changes.
-	Workers int
+	// RunConfig is threaded into every cluster the figures build: Workers
+	// selects the executor (0/1 sequential, >1 that many shards, <0
+	// GOMAXPROCS), Clock the time base. Results are identical for any
+	// Workers; only the wall clock changes. The embed keeps the historical
+	// scale.Workers spelling working unchanged.
+	RunConfig
 }
 
 // WithWorkers returns a copy of the scale using w executor workers.
@@ -42,10 +44,10 @@ func QuickScale() FigureScale {
 // for infection traces: uniform initial views, AssumeFromDigest (§5.2
 // methodology, which also realizes the analysis' unlimited-repetition
 // gossiping), fanout f, view size l.
-func lpbcastInfectionOptions(n, l, f int, seed uint64, workers int) Options {
+func lpbcastInfectionOptions(n, l, f int, seed uint64, rc RunConfig) Options {
 	o := DefaultOptions(n)
 	o.Seed = seed
-	o.Workers = workers
+	o.RunConfig = rc
 	o.Lpbcast.AssumeFromDigest = true
 	o.Lpbcast.Fanout = f
 	o.Lpbcast.Membership.MaxView = l
@@ -74,7 +76,7 @@ func Figure5a(scale FigureScale) (*stats.Table, error) {
 		}
 		tbl.Series = append(tbl.Series, theory)
 
-		res, err := InfectionExperiment(lpbcastInfectionOptions(n, 15, 3, 42, scale.Workers), rounds, scale.Repeats)
+		res, err := InfectionExperiment(lpbcastInfectionOptions(n, 15, 3, 42, scale.RunConfig), rounds, scale.Repeats)
 		if err != nil {
 			return nil, err
 		}
@@ -96,7 +98,7 @@ func Figure5b(scale FigureScale) (*stats.Table, error) {
 		YFormat: "%.2f",
 	}
 	for _, l := range []int{10, 15, 20} {
-		res, err := InfectionExperiment(lpbcastInfectionOptions(125, l, 3, 43, scale.Workers), 8, scale.Repeats)
+		res, err := InfectionExperiment(lpbcastInfectionOptions(125, l, 3, 43, scale.RunConfig), 8, scale.Repeats)
 		if err != nil {
 			return nil, err
 		}
@@ -146,7 +148,7 @@ func FigureLatency(scale FigureScale) (*stats.Table, error) {
 		YFormat: "%.2f",
 	}
 	for _, sh := range shapes {
-		o := lpbcastInfectionOptions(n, 15, 3, 46, scale.Workers)
+		o := lpbcastInfectionOptions(n, 15, 3, 46, scale.RunConfig)
 		sh.mut(&o)
 		res, err := InfectionExperiment(o, rounds, scale.Repeats)
 		if err != nil {
@@ -165,7 +167,7 @@ func FigureLatency(scale FigureScale) (*stats.Table, error) {
 func reliabilityForViewSize(l, notifList, fanout int, scale FigureScale, seed uint64) (float64, error) {
 	opts := DefaultReliabilityOptions(125)
 	opts.Cluster.Seed = seed
-	opts.Cluster.Workers = scale.Workers
+	opts.Cluster.RunConfig = scale.RunConfig
 	opts.Cluster.Lpbcast.Fanout = fanout
 	opts.Cluster.Lpbcast.Membership.MaxView = l
 	opts.Cluster.Lpbcast.Membership.MaxSubs = l
@@ -234,7 +236,7 @@ func Figure7a(scale FigureScale) (*stats.Table, error) {
 	}
 	const rounds = 6
 
-	lp, err := InfectionExperiment(lpbcastInfectionOptions(125, 15, 5, 44, scale.Workers), rounds, scale.Repeats)
+	lp, err := InfectionExperiment(lpbcastInfectionOptions(125, 15, 5, 44, scale.RunConfig), rounds, scale.Repeats)
 	if err != nil {
 		return nil, err
 	}
@@ -247,7 +249,7 @@ func Figure7a(scale FigureScale) (*stats.Table, error) {
 	for _, proto := range []Protocol{PbcastPartial, PbcastTotal} {
 		o := DefaultOptions(125)
 		o.Seed = 45
-		o.Workers = scale.Workers
+		o.RunConfig = scale.RunConfig
 		o.Protocol = proto
 		o.Pbcast.Fanout = 5
 		o.Pbcast.Membership.MaxView = 15
@@ -270,7 +272,7 @@ func Figure7b(scale FigureScale) (*stats.Table, error) {
 	s := &stats.Series{Name: "reliability"}
 	for _, l := range []int{15, 20, 25, 30, 35} {
 		opts := DefaultReliabilityOptions(125)
-		opts.Cluster.Workers = scale.Workers
+		opts.Cluster.RunConfig = scale.RunConfig
 		opts.Cluster.Protocol = PbcastPartial
 		opts.Cluster.Pbcast.Fanout = 5
 		opts.Cluster.Pbcast.Membership.MaxView = l

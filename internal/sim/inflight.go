@@ -20,15 +20,24 @@ import "repro/internal/proto"
 //
 // Allocation. The engines recycle their emission buffers (emission-reuse
 // mode), so a message outlives its round only if the queue deep-copies it.
-// Each bucket keeps one recycled storage slot per queued message — the
-// gossip value, its backing slices, and a flat payload arena — reused
-// every time the ring wraps around. Slots grow during warmup; in steady
-// state enqueue, drain, and reset touch no allocator (the
-// steady-delayed-round bench entries and TestDelayedRoundAllocs gate
-// this at ≤ 2 allocs per round).
+// Storage slots — the gossip value, its backing slices, and a flat payload
+// arena — live in one queue-wide pool: enqueue loans a slot from the pool,
+// drain parks it on the spent list, and recycle (called once per round,
+// after every consumer is done with the round's arrivals) returns it.
+// Pooling matters on the event clock, where arrival instants are not
+// periodic modulo the ring size: per-bucket slot storage would keep
+// hitting fresh per-bucket occupancy maxima forever, while the pool (and
+// the queue-wide drain scratch) stabilize at the global high-water mark.
+// Slots grow during warmup; in steady state enqueue, drain, poison, and
+// recycle touch no allocator (the steady-delayed-round and
+// steady-event-round bench entries and TestDelayedRoundAllocs /
+// TestEventRoundAllocs gate this).
 
-// flSlot is the recycled deep-copy storage for one in-flight message.
+// flSlot is the recycled deep-copy storage for one in-flight message,
+// intrusively linked into its arrival bucket's list while loaned out.
 type flSlot struct {
+	msg     proto.Message // slot-backed envelope, valid while loaned
+	next    *flSlot
 	gossip  proto.Gossip
 	request []proto.EventID
 	reply   []proto.Event
@@ -99,16 +108,20 @@ func (s *flSlot) copyMessage(m proto.Message) proto.Message {
 	return out
 }
 
-// flBucket holds the messages arriving at one future round, in enqueue
-// (classify) order, plus their recycled storage slots.
+// flBucket holds the messages arriving at one future round (or instant,
+// on the event clock) as an intrusive list of loaned slots in enqueue
+// (classify) order.
 type flBucket struct {
-	msgs  []proto.Message
-	slots []*flSlot
+	head, tail *flSlot
 }
 
-// inflightQueue is the ring of future-round buckets.
+// inflightQueue is the ring of future-round buckets plus the queue-wide
+// slot pool.
 type inflightQueue struct {
 	buckets []flBucket
+	pool    []*flSlot       // free slots, LIFO
+	spent   []*flSlot       // drained this round; recycled at end of round
+	scratch []proto.Message // drain's reusable result slice
 }
 
 // newInflight creates a ring covering delays up to maxDelay rounds.
@@ -125,34 +138,55 @@ func (q *inflightQueue) bucket(at uint64) *flBucket {
 // guarantees now < at <= now+maxDelay, so the target bucket can never be
 // the one currently draining.
 func (q *inflightQueue) enqueue(m proto.Message, at uint64) {
-	b := q.bucket(at)
-	k := len(b.msgs)
-	if k == len(b.slots) {
-		b.slots = append(b.slots, new(flSlot)) // warmup growth only
+	var s *flSlot
+	if n := len(q.pool) - 1; n >= 0 {
+		s, q.pool = q.pool[n], q.pool[:n]
+	} else {
+		s = new(flSlot) // warmup growth only
 	}
-	b.msgs = append(b.msgs, b.slots[k].copyMessage(m))
+	s.msg = s.copyMessage(m)
+	s.next = nil
+	b := q.bucket(at)
+	if b.tail == nil {
+		b.head = s
+	} else {
+		b.tail.next = s
+	}
+	b.tail = s
 }
 
 // drain returns the messages arriving at round now, in enqueue order, and
-// empties the bucket. The returned slice (and the slot storage behind it)
-// stays valid until the ring wraps back to this bucket — at least maxDelay
-// rounds — but consumers must finish with it within the round, exactly
-// like any other recycled round buffer; PoisonRecycled enforces that by
-// poisoning the drained slots at the end of the round.
+// empties the bucket, parking its slots on the spent list. The returned
+// slice is the queue's recycled scratch — the next drain call overwrites
+// it — and the slot storage behind the messages stays valid until recycle
+// runs at the end of the round; consumers must finish with both within the
+// round, exactly like any other recycled round buffer. PoisonRecycled
+// enforces that by poisoning the spent slots at the end of the round.
 func (q *inflightQueue) drain(now uint64) []proto.Message {
 	b := q.bucket(now)
-	msgs := b.msgs
-	b.msgs = b.msgs[:0]
-	return msgs
+	q.scratch = q.scratch[:0]
+	for s := b.head; s != nil; s = s.next {
+		q.scratch = append(q.scratch, s.msg)
+		q.spent = append(q.spent, s)
+	}
+	b.head, b.tail = nil, nil
+	return q.scratch
 }
 
-// poisonDrained overwrites the slot storage of the bucket drained at round
-// now with sentinel values (see poisonMessages): any consumer still
-// holding an arrival past its round diverges loudly instead of reading
-// stale data. Future buckets are untouched — their contents are live.
-func (q *inflightQueue) poisonDrained(now uint64) {
-	b := q.bucket(now)
-	for _, s := range b.slots {
+// recycle returns the round's spent slots to the pool. Every executor
+// calls it exactly once per round/period, after the last consumer of the
+// round's arrivals (and any poisoning) is done.
+func (q *inflightQueue) recycle() {
+	q.pool = append(q.pool, q.spent...)
+	q.spent = q.spent[:0]
+}
+
+// poisonSpent overwrites the storage of every slot drained this round with
+// sentinel values (see poisonMessages): any consumer still holding an
+// arrival past its round diverges loudly instead of reading stale data.
+// Loaned slots are untouched — their contents are live.
+func (q *inflightQueue) poisonSpent() {
+	for _, s := range q.spent {
 		poisonGossip(&s.gossip)
 		for i := range s.request {
 			s.request[i] = poisonEventID

@@ -27,8 +27,17 @@ type MatrixSpec struct {
 	// Taus are the crashed fractions τ (the churn dimension: processes
 	// failing mid-run). Default: {0.01}.
 	Taus []float64
-	// Delays are fixed per-message delivery delays in rounds (the network
-	// latency dimension; fault.FixedDelay). Default: {0}.
+	// DelaySpecs are delay-model specifications for the network latency
+	// dimension, in fault.ParseDelaySpec grammar: "" (zero delay),
+	// "fixed:2" / "uniform:1-4" (whole rounds), "ms:fixed:30" /
+	// "ms:uniform:10-40" (virtual milliseconds — the cell automatically
+	// runs on the event clock). Default: {""}.
+	DelaySpecs []string
+	// Delays are fixed per-message delivery delays in whole rounds.
+	//
+	// Deprecated: the bare-int form survives for existing sweeps and maps
+	// onto DelaySpecs ("2" ≡ "fixed:2"); new code should set DelaySpecs.
+	// Setting both is a configuration error.
 	Delays []int
 	// Topics is the pub/sub dimension: cells with Topics > 1 run a
 	// TopicExperiment — N subscribers spread over that many topic groups
@@ -48,8 +57,11 @@ type MatrixSpec struct {
 	Repeats int
 	// Seed is the root seed of the sweep. Default: 1.
 	Seed uint64
-	// Workers is the per-cluster executor parallelism (Options.Workers).
-	Workers int
+	// RunConfig is the per-cluster execution configuration (executor
+	// workers, clock, period). A millisecond DelaySpecs entry overrides
+	// Clock to ClockEvent for its cells. The embed keeps the historical
+	// spec.Workers spelling working unchanged.
+	RunConfig
 	// Concurrency bounds how many cells run at once. Default: GOMAXPROCS.
 	Concurrency int
 }
@@ -68,8 +80,19 @@ func (s MatrixSpec) withDefaults() MatrixSpec {
 	if len(s.Protocols) == 0 {
 		s.Protocols = []Protocol{Lpbcast}
 	}
-	if len(s.Delays) == 0 {
-		s.Delays = []int{0}
+	if len(s.DelaySpecs) == 0 {
+		// The deprecated whole-round ints map onto the spec grammar; 0
+		// becomes the empty (zero-delay) spec so cell names are unchanged.
+		for _, d := range s.Delays {
+			if d == 0 {
+				s.DelaySpecs = append(s.DelaySpecs, "")
+			} else {
+				s.DelaySpecs = append(s.DelaySpecs, fmt.Sprintf("%d", d))
+			}
+		}
+		if len(s.DelaySpecs) == 0 {
+			s.DelaySpecs = []string{""}
+		}
 	}
 	if len(s.Topics) == 0 {
 		s.Topics = []int{1}
@@ -95,8 +118,8 @@ type MatrixCell struct {
 	Fanout   int
 	Epsilon  float64
 	Tau      float64
-	Delay    int // fixed delivery delay in rounds (0 = same-round)
-	Topics   int // topic groups; > 1 runs a pub/sub TopicExperiment
+	Delay    string // delay-model spec (fault.ParseDelaySpec); "" = same-round
+	Topics   int    // topic groups; > 1 runs a pub/sub TopicExperiment
 	Protocol Protocol
 	// Result is the averaged infection trace for this configuration.
 	Result InfectionResult
@@ -110,8 +133,8 @@ type MatrixCell struct {
 // appears when it is in play, keeping flat-network sweeps unchanged.
 func (c MatrixCell) Name() string {
 	name := fmt.Sprintf("%s,F=%d,eps=%g,tau=%g", c.Protocol, c.Fanout, c.Epsilon, c.Tau)
-	if c.Delay != 0 {
-		name += fmt.Sprintf(",d=%d", c.Delay)
+	if c.Delay != "" {
+		name += fmt.Sprintf(",d=%s", c.Delay)
 	}
 	if c.Topics > 1 {
 		name += fmt.Sprintf(",topics=%d", c.Topics)
@@ -122,18 +145,22 @@ func (c MatrixCell) Name() string {
 // cellOptions builds the cluster options of one grid point. The seed mixes
 // the sweep seed with the cell's index so every cell is independent and
 // the whole sweep is reproducible.
-func cellOptions(spec MatrixSpec, cell MatrixCell, idx int) Options {
+func cellOptions(spec MatrixSpec, cell MatrixCell, idx int) (Options, error) {
 	o := DefaultOptions(cell.N)
 	o.Seed = spec.Seed + uint64(idx)*1_000_003
 	o.Epsilon = cell.Epsilon
 	o.Tau = cell.Tau
 	o.Protocol = cell.Protocol
-	o.Workers = spec.Workers
-	// Any nonzero delay — negative included — goes through the model so
-	// that Options.Validate rejects bad values with the cell's name
-	// attached, instead of a typo silently sweeping a flat network.
-	if cell.Delay != 0 {
-		o.Delay = fault.FixedDelay{Rounds: cell.Delay}
+	o.RunConfig = spec.RunConfig
+	d, err := fault.ParseDelaySpec(cell.Delay)
+	if err != nil {
+		return Options{}, fmt.Errorf("sim: cell %s: %w", cell.Name(), err)
+	}
+	o.Delay = d
+	// A millisecond spec needs sub-round time: the cell runs on the event
+	// clock regardless of the sweep-wide default.
+	if d != nil && fault.Unit(d) == fault.UnitMillis {
+		o.Clock = ClockEvent
 	}
 	switch cell.Protocol {
 	case Lpbcast:
@@ -144,7 +171,7 @@ func cellOptions(spec MatrixSpec, cell MatrixCell, idx int) Options {
 	case PbcastPartial, PbcastTotal:
 		o.Pbcast.Fanout = cell.Fanout
 	}
-	return o
+	return o, nil
 }
 
 // runTopicCell executes a pub/sub grid point: the cell's N subscribers
@@ -164,9 +191,11 @@ func runTopicCell(spec MatrixSpec, cell MatrixCell, idx int) (InfectionResult, e
 		Epsilon:      cell.Epsilon,
 		WarmupRounds: 5,
 	}
-	if cell.Delay != 0 {
-		opts.Delay = fault.FixedDelay{Rounds: cell.Delay}
+	d, err := fault.ParseDelaySpec(cell.Delay)
+	if err != nil {
+		return InfectionResult{}, fmt.Errorf("sim: cell %s: %w", cell.Name(), err)
 	}
+	opts.Delay = d
 	opts.Engine = core.DefaultConfig()
 	opts.Engine.Fanout = cell.Fanout
 	opts.Engine.AssumeFromDigest = true
@@ -181,6 +210,9 @@ func RunMatrix(spec MatrixSpec) ([]MatrixCell, error) {
 	if len(spec.Ns) == 0 {
 		return nil, errors.New("sim: matrix needs at least one system size")
 	}
+	if len(spec.DelaySpecs) > 0 && len(spec.Delays) > 0 {
+		return nil, errors.New("sim: set DelaySpecs or the deprecated Delays, not both")
+	}
 	spec = spec.withDefaults()
 
 	var cells []MatrixCell
@@ -188,7 +220,7 @@ func RunMatrix(spec MatrixSpec) ([]MatrixCell, error) {
 		for _, f := range spec.Fanouts {
 			for _, eps := range spec.Epsilons {
 				for _, tau := range spec.Taus {
-					for _, d := range spec.Delays {
+					for _, d := range spec.DelaySpecs {
 						for _, topics := range spec.Topics {
 							for _, n := range spec.Ns {
 								cells = append(cells, MatrixCell{
@@ -215,7 +247,11 @@ func RunMatrix(spec MatrixSpec) ([]MatrixCell, error) {
 				cell.Result, cell.Err = runTopicCell(spec, *cell, i)
 				return
 			}
-			opts := cellOptions(spec, *cell, i)
+			opts, err := cellOptions(spec, *cell, i)
+			if err != nil {
+				cell.Err = err
+				return
+			}
 			cell.Result, cell.Err = InfectionExperiment(opts, spec.Rounds, spec.Repeats)
 		}(i)
 	}

@@ -15,7 +15,7 @@ func TestRunMatrixDeterministic(t *testing.T) {
 		Rounds:    6,
 		Repeats:   2,
 		Seed:      5,
-		Workers:   2,
+		RunConfig: RunConfig{Workers: 2},
 	}
 	a, err := RunMatrix(spec)
 	if err != nil {
@@ -84,7 +84,7 @@ func TestRunMatrixReportsCellErrors(t *testing.T) {
 
 func TestMatrixTable(t *testing.T) {
 	t.Parallel()
-	cells, err := RunMatrix(MatrixSpec{Ns: []int{60, 125}, Rounds: 8, Repeats: 1, Workers: 2})
+	cells, err := RunMatrix(MatrixSpec{Ns: []int{60, 125}, Rounds: 8, Repeats: 1, RunConfig: RunConfig{Workers: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,5 +94,91 @@ func TestMatrixTable(t *testing.T) {
 	}
 	if !strings.Contains(out, "125") {
 		t.Errorf("table missing the n=125 row:\n%s", out)
+	}
+}
+
+// TestMatrixDelaySpecs drives the delay dimension through the spec-string
+// grammar, including a millisecond cell that must auto-select the event
+// clock to run at all.
+func TestMatrixDelaySpecs(t *testing.T) {
+	t.Parallel()
+	cells, err := RunMatrix(MatrixSpec{
+		Ns:         []int{60},
+		DelaySpecs: []string{"", "fixed:1", "uniform:0-2", "ms:fixed:30"},
+		Rounds:     6,
+		Repeats:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("got %d cells, want 4", len(cells))
+	}
+	for _, c := range cells {
+		if c.Err != nil {
+			t.Errorf("cell %s failed: %v", c.Name(), c.Err)
+		}
+	}
+	if name := cells[0].Name(); strings.Contains(name, "d=") {
+		t.Errorf("zero-delay cell name %q shows a delay dimension", name)
+	}
+	if name := cells[3].Name(); !strings.Contains(name, "d=ms:fixed:30") {
+		t.Errorf("ms cell name %q hides its delay spec", name)
+	}
+}
+
+// TestMatrixDeprecatedDelaysMapOntoSpecs: a sweep spelled with the
+// deprecated whole-round ints is bit-identical to the same sweep in
+// spec-string form — including the cell names, so existing tables keep
+// their series labels.
+func TestMatrixDeprecatedDelaysMapOntoSpecs(t *testing.T) {
+	t.Parallel()
+	base := MatrixSpec{Ns: []int{60}, Rounds: 5, Repeats: 1, Seed: 9}
+	oldSpec := base
+	oldSpec.Delays = []int{0, 2}
+	newSpec := base
+	newSpec.DelaySpecs = []string{"", "2"}
+	old, err := RunMatrix(oldSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recent, err := RunMatrix(newSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(old, recent) {
+		t.Errorf("deprecated Delays sweep differs from DelaySpecs sweep:\nold: %+v\nnew: %+v", old, recent)
+	}
+}
+
+// TestMatrixRejectsBothDelayForms: setting Delays and DelaySpecs together
+// is ambiguous and fails the whole sweep up front.
+func TestMatrixRejectsBothDelayForms(t *testing.T) {
+	t.Parallel()
+	_, err := RunMatrix(MatrixSpec{
+		Ns:         []int{60},
+		Delays:     []int{1},
+		DelaySpecs: []string{"fixed:1"},
+		Rounds:     3,
+		Repeats:    1,
+	})
+	if err == nil || !strings.Contains(err.Error(), "not both") {
+		t.Fatalf("both delay forms accepted: err=%v", err)
+	}
+}
+
+// TestMatrixRejectsMalformedSpec: an unparsable delay spec fails its cells
+// loudly, with the spec visible in the cell name.
+func TestMatrixRejectsMalformedSpec(t *testing.T) {
+	t.Parallel()
+	cells, err := RunMatrix(MatrixSpec{Ns: []int{60}, DelaySpecs: []string{"warp:9"}, Rounds: 3, Repeats: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 || cells[0].Err == nil {
+		t.Fatalf("malformed spec cell did not error: %+v", cells)
+	}
+	if got := cells[0].Name(); !strings.Contains(got, "d=warp:9") {
+		t.Errorf("cell name %q hides the malformed spec", got)
 	}
 }

@@ -1,0 +1,118 @@
+package sim
+
+import "fmt"
+
+// Clock selects the simulator's time base.
+type Clock int
+
+const (
+	// ClockRounds is the historical round/period-lockstep base: one
+	// RunRound is one global gossip round, delays are whole-round granular,
+	// and every process ticks at every round boundary — the regime of the
+	// paper's §5.1 simulations.
+	ClockRounds Clock = iota
+	// ClockEvent is the event-driven virtual-time base: gossip periods and
+	// per-link delays become timer events on a hierarchical timer wheel
+	// (internal/event) over millisecond virtual time. One RunRound still
+	// advances exactly one gossip period (PeriodMs of virtual time), so
+	// experiment loops are unchanged, but within the period the cluster
+	// walks a totally ordered event queue — round-granular delay models
+	// keep their semantics (and reproduce round-clock results exactly; the
+	// bridge tests assert byte-for-byte equality), while fault.Millis
+	// models land between ticks at millisecond resolution. In Async mode
+	// each process ticks at its own fixed phase offset within the period
+	// instead of at the period boundary — the unsynchronized regime with
+	// real, staggered tick times.
+	ClockEvent
+)
+
+// String implements fmt.Stringer.
+func (c Clock) String() string {
+	switch c {
+	case ClockRounds:
+		return "rounds"
+	case ClockEvent:
+		return "event"
+	default:
+		return fmt.Sprintf("clock(%d)", int(c))
+	}
+}
+
+// defaultPeriodMs is the gossip period in virtual milliseconds when
+// ClockEvent is selected without an explicit PeriodMs.
+const defaultPeriodMs = 100
+
+// maxPeriodMs bounds the configured period so every timer a period
+// schedules stays far inside the wheel's horizon.
+const maxPeriodMs = 1 << 20
+
+// RunConfig is the execution configuration shared by every simulator entry
+// point — Options (and through it Scenario), FigureScale, MatrixSpec, and
+// TopicOptions all embed it, so "how the simulation executes" is declared
+// once instead of as per-surface field copies. It selects the executor
+// (Workers), the time base (Clock, PeriodMs), and the buffer-recycling
+// debug modes; none of its fields change results, only how and how fast
+// they are computed (Clock changes the schedule — see its docs — but is
+// itself deterministic and executor-independent).
+type RunConfig struct {
+	// Workers selects the executor: 0 or 1 runs rounds (or async periods)
+	// sequentially — the reference implementations; W > 1 runs them on W
+	// sharded workers with deterministic merges, producing results
+	// bit-for-bit identical to the sequential executor for the same seed.
+	// In synchronous mode the Tick and HandleMessage phases of each round
+	// fan out; in Async mode ticks are composed speculatively and
+	// deliveries handled in parallel under the wavefront schedule
+	// (async.go). The same guarantee holds on both clocks: the event
+	// executors speculate per wavefront against the sequential event walk.
+	// A negative value selects GOMAXPROCS workers.
+	Workers int
+	// Clock selects the time base: round lockstep (default) or the
+	// event-driven virtual-time scheduler.
+	Clock Clock
+	// PeriodMs is the gossip period in virtual milliseconds on the event
+	// clock (0 = defaultPeriodMs). Setting it with ClockRounds is a
+	// configuration error: the round clock has no sub-round time.
+	PeriodMs int
+	// PoisonRecycled is a debug mode of the sharded executors: at the end
+	// of every round (or async period) the recycled emission buffers (the
+	// shared tick gossips, the executor's outbox/response slots, and the
+	// drained in-flight delay buckets) are overwritten with sentinel
+	// values, so any consumer that still aliases them past the round
+	// diverges loudly from the sequential executor instead of reading
+	// stale data silently. Results must be identical with the flag on —
+	// the reuse property tests assert this. No effect when the rounds run
+	// sequentially.
+	PoisonRecycled bool
+	// EmissionReuse opts the sequential executors into the engines'
+	// zero-alloc append emission paths with recycled buffers — the mode
+	// the sharded executors always run in. Results are bit-for-bit
+	// identical either way (the reuse equivalence tests assert it); the
+	// default off keeps the sequential references on the independently
+	// allocating clone paths, which is what makes them a meaningful
+	// oracle for the recycling executors. Ignored when Workers > 1.
+	EmissionReuse bool
+}
+
+// validateRun reports run-configuration errors.
+func (rc RunConfig) validateRun() error {
+	switch rc.Clock {
+	case ClockRounds, ClockEvent:
+	default:
+		return fmt.Errorf("sim: unknown clock %d", int(rc.Clock))
+	}
+	if rc.PeriodMs < 0 || rc.PeriodMs > maxPeriodMs {
+		return fmt.Errorf("sim: PeriodMs %d outside [0,%d]", rc.PeriodMs, maxPeriodMs)
+	}
+	if rc.PeriodMs != 0 && rc.Clock != ClockEvent {
+		return fmt.Errorf("sim: PeriodMs is an event-clock knob; set Clock: ClockEvent")
+	}
+	return nil
+}
+
+// periodMillis resolves the effective gossip period in virtual ms.
+func (rc RunConfig) periodMillis() uint64 {
+	if rc.PeriodMs <= 0 {
+		return defaultPeriodMs
+	}
+	return uint64(rc.PeriodMs)
+}

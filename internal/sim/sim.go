@@ -24,6 +24,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/event"
 	"repro/internal/fault"
 	"repro/internal/membership"
 	"repro/internal/pbcast"
@@ -109,35 +110,11 @@ type Options struct {
 	// schedule documented in async.go. Synchronous mode (false) matches
 	// the paper's §5.1 simulations and the Markov analysis.
 	Async bool
-	// Workers selects the executor: 0 or 1 runs rounds (or async periods)
-	// sequentially — the reference implementations; W > 1 runs them on W
-	// sharded workers with deterministic merges, producing results
-	// bit-for-bit identical to the sequential executor for the same seed.
-	// In synchronous mode the Tick and HandleMessage phases of each round
-	// fan out; in Async mode ticks are composed speculatively and
-	// deliveries handled in parallel under the wavefront schedule
-	// (async.go), an explicit, supported combination since the carve-out
-	// that ignored Workers for Async was removed. A negative value selects
-	// GOMAXPROCS workers.
-	Workers int
-	// PoisonRecycled is a debug mode of the sharded executor: at the end
-	// of every round (or async period) the recycled emission buffers (the
-	// shared tick gossips, the executor's outbox/response slots, and the
-	// drained in-flight delay bucket) are overwritten with sentinel
-	// values, so any consumer that still aliases them past the round
-	// diverges loudly from the sequential executor instead of reading
-	// stale data silently. Results must be identical with the flag on —
-	// the reuse property tests assert this. No effect when the rounds run
-	// sequentially.
-	PoisonRecycled bool
-	// EmissionReuse opts the sequential executors into the engines'
-	// zero-alloc append emission paths with recycled buffers — the mode
-	// the sharded executors always run in. Results are bit-for-bit
-	// identical either way (the reuse equivalence tests assert it); the
-	// default off keeps the sequential references on the independently
-	// allocating clone paths, which is what makes them a meaningful
-	// oracle for the recycling executors. Ignored when Workers > 1.
-	EmissionReuse bool
+	// RunConfig selects the executor (Workers), the time base (Clock,
+	// PeriodMs), and the buffer-recycling debug modes; see RunConfig. The
+	// embed keeps the historical field names (o.Workers, o.PoisonRecycled,
+	// o.EmissionReuse) working unchanged.
+	RunConfig
 	// Delay is the network delay model: how many whole rounds (periods) a
 	// surviving message spends in flight before delivery (see
 	// fault.DelayModel). nil with no Topology means every message arrives
@@ -164,6 +141,11 @@ type Options struct {
 // pre-sized to MaxDelay+1 buckets, so the bound keeps a misconfigured
 // model from allocating an absurd ring.
 const maxDelayBound = 4096
+
+// eventDelayBoundMs caps the delay span in virtual milliseconds on the
+// event clock, where the in-flight ring is keyed by instant: one bucket
+// per millisecond of span.
+const eventDelayBoundMs = 1 << 16
 
 // effectiveDelay resolves the delay model in force: an explicit Delay
 // wins, a Topology with any nonzero delay profile implies the
@@ -208,6 +190,9 @@ func (o Options) Validate() error {
 	if o.WarmupRounds < 0 {
 		return fmt.Errorf("sim: WarmupRounds %d must be non-negative", o.WarmupRounds)
 	}
+	if err := o.RunConfig.validateRun(); err != nil {
+		return err
+	}
 	if o.Delay != nil {
 		if err := o.Delay.Validate(); err != nil {
 			return fmt.Errorf("sim: delay model: %w", err)
@@ -219,7 +204,31 @@ func (o Options) Validate() error {
 		}
 	}
 	if d := o.effectiveDelay(); d != nil {
-		if max := d.MaxDelay(); max < 0 || max > maxDelayBound {
+		// A scenario must not mix time units: millisecond-valued delay
+		// models need the event clock (the round executors would silently
+		// coerce ms to rounds), and cannot be combined with a topology
+		// whose link profiles carry their own round-granular delays.
+		if fault.Unit(d) == fault.UnitMillis {
+			if o.Clock != ClockEvent {
+				return fmt.Errorf("sim: millisecond delay model requires Clock: ClockEvent; the round clock cannot honor sub-round latencies")
+			}
+			if o.Topology != nil && fault.MaxLinkDelay(o.Topology) > 0 {
+				return fmt.Errorf("sim: scenario mixes a millisecond delay model with round-granular topology link delays; express the delays in one unit")
+			}
+		}
+		max := d.MaxDelay()
+		if max < 0 {
+			return fmt.Errorf("sim: delay model MaxDelay %d negative", max)
+		}
+		if o.Clock == ClockEvent {
+			span := uint64(max)
+			if fault.Unit(d) == fault.UnitRounds {
+				span *= o.periodMillis()
+			}
+			if span > eventDelayBoundMs {
+				return fmt.Errorf("sim: delay span %d ms exceeds the event clock's bound %d ms", span, eventDelayBoundMs)
+			}
+		} else if max > maxDelayBound {
 			return fmt.Errorf("sim: delay model MaxDelay %d outside [0,%d]", max, maxDelayBound)
 		}
 	}
@@ -280,6 +289,25 @@ type Cluster struct {
 	// retained across rounds; the sequential and sharded synchronous
 	// dispatchers both read it for positions before pre.
 	arrivalDests []int
+
+	// Event-clock state (Clock == ClockEvent only). Virtual time runs in
+	// milliseconds: round r ends at instant r*periodMs, so period p covers
+	// the instants ((p-1)*periodMs, p*periodMs]. The wheel schedules tick
+	// timers (synchronous mode) and arrival markers — one evKindArrival per
+	// pending in-flight instant, deduplicated through armed — and the
+	// executors walk it instant by instant (event_exec.go).
+	clockEvent bool
+	periodMs   uint64 // gossip period length in virtual ms
+	nowMs      uint64 // current virtual instant
+	unitMs     uint64 // ms per delay-model unit: periodMs for rounds models, 1 for Millis
+	maxDelayMs int    // delay span in ms; the in-flight ring covers [0, maxDelayMs]
+	wheel      *event.Wheel
+	armed      []bool // per-ring-bucket: arrival marker already scheduled
+	// Async event clock: each process ticks at a fixed phase offset within
+	// every period (phase[i] ∈ [1, periodMs]); evOrder is the period walk
+	// order — ascending (phase, index) — replacing the per-period shuffle.
+	phase   []uint64
+	evOrder []int
 }
 
 // NewCluster builds a cluster of n processes with uniformly random initial
@@ -313,7 +341,6 @@ func NewCluster(opts Options) (*Cluster, error) {
 		c.delay = d
 		c.delayRNG = root.Split()
 		c.maxDelay = d.MaxDelay()
-		c.fl = newInflight(c.maxDelay)
 	}
 	c.parts = opts.Partitions
 	c.hasParts = len(c.parts) > 0
@@ -379,6 +406,53 @@ func NewCluster(opts Options) (*Cluster, error) {
 		c.crashes.SampleCrashes(c.ids, opts.Tau, horizon, root.Split())
 	}
 
+	// Event-clock setup. The async phase stream is the LAST root split and
+	// is drawn only on the async event clock, so every pre-existing stream
+	// keeps its position for round-clock runs of the same options — which is
+	// what lets the bridge tests demand byte-for-byte equal results.
+	if opts.Clock == ClockEvent {
+		c.clockEvent = true
+		c.periodMs = opts.periodMillis()
+		c.unitMs = 1
+		if c.delay != nil {
+			if fault.Unit(c.delay) == fault.UnitRounds {
+				c.unitMs = c.periodMs
+			}
+			c.maxDelayMs = c.maxDelay * int(c.unitMs)
+		}
+		c.wheel = event.NewWheel()
+		if opts.Async {
+			evRNG := root.Split()
+			c.phase = make([]uint64, opts.N)
+			c.evOrder = make([]int, opts.N)
+			for i := range c.phase {
+				c.phase[i] = 1 + uint64(evRNG.Intn(int(c.periodMs)))
+				c.evOrder[i] = i
+			}
+			sort.SliceStable(c.evOrder, func(a, b int) bool {
+				return c.phase[c.evOrder[a]] < c.phase[c.evOrder[b]]
+			})
+		} else {
+			// Synchronous ticks all fire at period boundaries; scheduling
+			// them in index order pins their wheel Seq to the process index,
+			// so every batch pops in index order forever (ticks reschedule
+			// in due order, preserving the invariant).
+			for i := 0; i < opts.N; i++ {
+				c.wheel.Schedule(c.periodMs, evKindTick, uint32(i))
+			}
+		}
+	}
+	if c.delay != nil {
+		span := c.maxDelay
+		if c.clockEvent {
+			span = c.maxDelayMs
+		}
+		c.fl = newInflight(span)
+		if c.clockEvent {
+			c.armed = make([]bool, span+1)
+		}
+	}
+
 	if w := effectiveWorkers(opts.Workers, opts.N); w > 1 {
 		c.par = newShardedExecutor(c, w)
 	}
@@ -430,6 +504,10 @@ func (c *Cluster) N() int { return c.opts.N }
 // Now returns the current round number.
 func (c *Cluster) Now() uint64 { return c.now }
 
+// NowMs returns the current virtual instant in milliseconds on the event
+// clock; on the round clock it is always 0.
+func (c *Cluster) NowMs() uint64 { return c.nowMs }
+
 // NetStats returns the cumulative network counters.
 func (c *Cluster) NetStats() NetStats { return c.net }
 
@@ -465,6 +543,33 @@ const maxChase = 16
 // bit-for-bit identical either way.
 func (c *Cluster) RunRound() {
 	c.now++
+	c.runRoundBody()
+	if c.fl != nil {
+		// The round's drained delay-ring slots go back to the pool only
+		// now, after every consumer (and any poisoning pass) is done.
+		c.fl.recycle()
+	}
+}
+
+// runRoundBody dispatches one period to the executor selected by the
+// clock, regime, and worker count.
+func (c *Cluster) runRoundBody() {
+	if c.clockEvent {
+		if c.opts.Async {
+			if c.par != nil {
+				c.par.runEventPeriodAsync()
+				return
+			}
+			c.runEventPeriodAsyncSeq()
+			return
+		}
+		if c.par != nil {
+			c.par.runEventRound()
+			return
+		}
+		c.runEventRoundSeq()
+		return
+	}
 	if c.opts.Async {
 		if c.par != nil {
 			c.par.runAsyncPeriod()
@@ -539,6 +644,21 @@ func (c *Cluster) classify(m proto.Message) (int, bool) {
 			panic(fmt.Sprintf("sim: delay %d outside the model's [0, MaxDelay=%d]", d, c.maxDelay))
 		}
 		if d > 0 {
+			if c.clockEvent {
+				// Event clock: the ring is keyed by virtual instant, and the
+				// wheel gets one arrival marker per pending instant (armed
+				// dedups by ring bucket, which is injective over the ring's
+				// span). The instant is strictly after nowMs, and nowMs never
+				// trails the wheel, so the Schedule guard holds.
+				at := c.nowMs + uint64(d)*c.unitMs
+				c.fl.enqueue(m, at)
+				c.net.InFlight++
+				if b := at % uint64(len(c.armed)); !c.armed[b] {
+					c.armed[b] = true
+					c.wheel.Schedule(at, evKindArrival, 0)
+				}
+				return -1, false
+			}
 			c.fl.enqueue(m, c.now+uint64(d))
 			c.net.InFlight++
 			return -1, false

@@ -42,6 +42,11 @@ type TopicOptions struct {
 	// WarmupRounds lets membership gossip mix the topic groups before
 	// the traced publication.
 	WarmupRounds int
+	// RunConfig is the shared execution configuration. The pubsub Bus
+	// steps whole rounds on one goroutine, so only ClockRounds is
+	// accepted and Workers is ignored; the embed exists so Scenario can
+	// thread one run-config through every experiment family uniformly.
+	RunConfig
 }
 
 // TopicExperiment traces the dissemination of one event on the hottest
@@ -51,12 +56,25 @@ type TopicOptions struct {
 // PerRound[0] == 1 (the publisher). The result's Population is the hot
 // topic's subscriber count, the natural 100% target for round-to-reach
 // readings.
+//
+// Deprecated: new code should call Run with an ExpTopics Scenario; this
+// entry point remains for existing callers and behaves identically.
 func TopicExperiment(opts TopicOptions, rounds, repeats int) (InfectionResult, error) {
 	if rounds <= 0 || repeats <= 0 {
 		return InfectionResult{}, errors.New("sim: rounds and repeats must be positive")
 	}
 	if opts.WarmupRounds < 0 {
 		return InfectionResult{}, fmt.Errorf("sim: WarmupRounds %d must be non-negative", opts.WarmupRounds)
+	}
+	if err := opts.RunConfig.validateRun(); err != nil {
+		return InfectionResult{}, err
+	}
+	if opts.Clock != ClockRounds {
+		return InfectionResult{}, fmt.Errorf("sim: topic experiments step the pubsub Bus in whole rounds; Clock must be ClockRounds")
+	}
+	if opts.Delay != nil && fault.Unit(opts.Delay) == fault.UnitMillis {
+		// The Bus would silently read millisecond values as whole rounds.
+		return InfectionResult{}, fmt.Errorf("sim: millisecond delay models are not supported by the round-stepped pubsub Bus")
 	}
 	// The workload's popularity draws use the experiment seed directly,
 	// so every repeat deploys the same population shape and only the
