@@ -223,6 +223,7 @@ type Engine struct {
 	composedRetransmits int
 	scratchRequest      []proto.EventID
 	scratchReqTarget    []proto.ProcessID
+	scratchRearmed      []pendingRetransmit
 }
 
 // pendingRetransmit is one outstanding retransmission request: an id the
@@ -614,7 +615,7 @@ func (e *Engine) commitRetransmit(now uint64) {
 	}
 	e.stats.RetransmitTimeouts += uint64(requested)
 	kept := e.pending[:0]
-	var rearmed []pendingRetransmit
+	rearmed := e.scratchRearmed[:0]
 	for _, p := range e.pending {
 		if e.knows(p.id) {
 			continue // answered (or assumed) since the request went out
@@ -632,6 +633,7 @@ func (e *Engine) commitRetransmit(now uint64) {
 		kept = append(kept, p)
 	}
 	e.pending = append(kept, rearmed...)
+	e.scratchRearmed = rearmed
 }
 
 // maxWatermarkExpansion bounds how many unknown sequence numbers a single

@@ -221,6 +221,15 @@ func (w *Wheel) Next() (uint64, bool) {
 	if s := w.levels[2].scan(int((w.now>>(2*slotBits))&slotMask) + 1); s >= 0 {
 		return w.minInSlot(2, s), true
 	}
+	// The top level wraps: a timer within MaxHorizon of now can land in a
+	// slot at or below the current index, one full rotation ahead. Those
+	// wrapped slots hold strictly later windows than the unwrapped range
+	// scanned above, so checking them second preserves ordering. (Lower
+	// levels never wrap — their entries share now's parent window, so their
+	// slot indices are strictly above the current index.)
+	if s := w.levels[2].scan(0); s >= 0 {
+		return w.minInSlot(2, s), true
+	}
 	panic("event: pending timers but no occupied slot")
 }
 

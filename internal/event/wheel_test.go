@@ -132,6 +132,94 @@ func TestWheelCascadeOrder(t *testing.T) {
 	}
 }
 
+// TestWheelRotationWrap pins the top-level wrap: once now sits in the last
+// slot of a 2^24 rotation, a timer scheduled within MaxHorizon lands in a
+// level-2 slot at or below the current index — the next rotation — and
+// Next must find it there instead of panicking with pending timers.
+func TestWheelRotationWrap(t *testing.T) {
+	w := NewWheel()
+	w.Schedule(MaxHorizon-1, 0, 1) // park now on the rotation's last instant
+	at, ok := w.Next()
+	if !ok || at != MaxHorizon-1 {
+		t.Fatalf("Next = %d,%v want %d", at, ok, uint64(MaxHorizon-1))
+	}
+	w.PopAt(at)
+	want := w.Now() + 2 // first instant past the boundary: wrapped slot 0
+	w.Schedule(want, 0, 2)
+	if at, ok := w.Next(); !ok || at != want {
+		t.Fatalf("Next across rotation = %d,%v want %d", at, ok, want)
+	}
+	got := w.PopAt(want)
+	if len(got) != 1 || got[0].Ref != 2 {
+		t.Fatalf("pop across rotation = %+v, want one timer with ref 2", got)
+	}
+	if w.Len() != 0 {
+		t.Fatalf("wheel still reports %d pending", w.Len())
+	}
+}
+
+// TestWheelOracleAcrossRotations reruns the randomized oracle with now
+// parked just below a top-level rotation boundary and deltas spanning the
+// full horizon, so schedules and cascades straddle the wrap while lists
+// are live.
+func TestWheelOracleAcrossRotations(t *testing.T) {
+	r := rng.New(11)
+	for trial := 0; trial < 10; trial++ {
+		w := NewWheel()
+		// Walk now to just below the (trial+1)-th rotation boundary.
+		start := uint64(trial+1)*MaxHorizon - uint64(1+r.Intn(1<<18))
+		// Step by a whole window less than the horizon: place admits at most
+		// 255 level-2 windows ahead, so MaxHorizon-1 overshoots when now sits
+		// high inside its window.
+		for w.Now() < start {
+			next := min(start, w.Now()+MaxHorizon-65536)
+			w.Schedule(next, 0, 0)
+			w.PopAt(next)
+		}
+		var ref []refTimer
+		schedule := func(count int) {
+			for i := 0; i < count; i++ {
+				var delta uint64
+				switch r.Intn(4) {
+				case 0:
+					delta = 1 + uint64(r.Intn(255))
+				case 1:
+					delta = 256 + uint64(r.Intn(65536-256))
+				case 2:
+					delta = 65536 + uint64(r.Intn(MaxHorizon-2*65536)) // up to the wrap
+				case 3:
+					delta = 1 + uint64(r.Intn(8))
+				}
+				at := w.Now() + delta
+				kind := uint8(r.Intn(3))
+				w.Schedule(at, kind, uint32(i))
+				ref = append(ref, refTimer{at: at, seq: w.seq, kind: kind, ref: uint32(i)})
+			}
+		}
+		schedule(100)
+		for pops := 0; pops < 30; pops++ {
+			at, ok := w.Next()
+			if !ok {
+				break
+			}
+			ref = checkBatch(t, ref, at, w.PopAt(at))
+			if pops%10 == 0 {
+				schedule(15)
+			}
+		}
+		for {
+			at, ok := w.Next()
+			if !ok {
+				break
+			}
+			ref = checkBatch(t, ref, at, w.PopAt(at))
+		}
+		if w.Len() != 0 || len(ref) != 0 {
+			t.Fatalf("trial %d: %d pending, %d reference timers left", trial, w.Len(), len(ref))
+		}
+	}
+}
+
 func TestWheelScheduleGuards(t *testing.T) {
 	w := NewWheel()
 	w.PopAt(10)

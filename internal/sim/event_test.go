@@ -291,6 +291,51 @@ func TestEventMsDelaySemantics(t *testing.T) {
 	assertConserved(t, s)
 }
 
+// TestEventLongPeriodCrossesWheelRotation runs the event executor with the
+// period at the maxPeriodMs cap, so virtual time crosses the wheel's 2^24
+// top-level rotation boundary inside ~16 periods — the regime where Next's
+// wrapped level-2 scan is load-bearing. Before that scan existed, the run
+// panicked ("pending timers but no occupied slot") at the boundary.
+func TestEventLongPeriodCrossesWheelRotation(t *testing.T) {
+	t.Parallel()
+	opts := DefaultOptions(64)
+	opts.Seed = 5
+	opts.Clock = ClockEvent
+	opts.PeriodMs = maxPeriodMs
+	opts.Lpbcast.AssumeFromDigest = true
+	opts.Delay = fault.Millis{Model: fault.UniformDelay{Min: 10, Max: 180}}
+	const rounds = 20 // 20 * 2^20 ms crosses the 2^24 boundary at period 17
+	var tapes [][]int
+	for _, workers := range []int{0, 4} {
+		o := opts
+		o.Workers = workers
+		c, err := NewCluster(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := c.PublishAt(0)
+		if err != nil {
+			c.Close()
+			t.Fatal(err)
+		}
+		var tape []int
+		for r := 0; r < rounds; r++ {
+			c.RunRound()
+			tape = append(tape, c.DeliveredCount(ev.ID))
+			assertConserved(t, c.NetStats())
+		}
+		if got, want := c.NowMs(), uint64(rounds)*maxPeriodMs; got != want {
+			t.Errorf("workers=%d: NowMs = %d, want %d", workers, got, want)
+		}
+		c.Close()
+		tapes = append(tapes, tape)
+	}
+	assertIdentical(t, "rotation-crossing tape", tapes[0], tapes[1])
+	if last := tapes[0][len(tapes[0])-1]; last < 60 {
+		t.Errorf("only %d of 64 delivered after %d long periods", last, rounds)
+	}
+}
+
 // TestEventRoundAllocs is the event-scheduler allocation gate: once the
 // cluster reaches steady state, a synchronous event-clock round — wheel
 // pops, tick rescheduling, emission, and dispatch — must not allocate
