@@ -29,6 +29,36 @@ func TestTrajectoryRoundTrip(t *testing.T) {
 	}
 }
 
+// TestWriteEntriesPreservesUnrunBaselines pins the carry-over rule: a
+// rewrite that did not produce some baseline entry (the -big scale cells
+// on a regular run) keeps that entry instead of dropping it.
+func TestWriteEntriesPreservesUnrunBaselines(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := writeEntries(path, []Entry{
+		{Name: "regular", AllocsPerOp: 5, Gate: true, MaxAllocs: -1},
+		{Name: "nightly-only", AllocsPerOp: 9, Gate: true, MaxAllocs: -1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeEntries(path, []Entry{
+		{Name: "regular", AllocsPerOp: 4, Gate: true, MaxAllocs: -1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readEntries(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Entry{
+		{Name: "regular", AllocsPerOp: 4, Gate: true, MaxAllocs: -1},
+		{Name: "nightly-only", AllocsPerOp: 9, Gate: true, MaxAllocs: -1},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("carry-over mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
 // TestCheckRegression covers the gate rules: absolute ceilings, relative
 // headroom, ungated entries, unknown names, and a missing baseline file.
 func TestCheckRegression(t *testing.T) {
@@ -39,6 +69,8 @@ func TestCheckRegression(t *testing.T) {
 		{Name: "steady", AllocsPerOp: 0, Gate: true, MaxAllocs: 2},
 		{Name: "relative", AllocsPerOp: 100, Gate: true, MaxAllocs: -1},
 		{Name: "ungated", AllocsPerOp: 10, Gate: false, MaxAllocs: -1},
+		{Name: "setup", AllocsPerOp: 1000, Gate: true, MaxAllocs: -1,
+			Metrics: map[string]float64{"setup_allocs_per_op": 1000}},
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -64,6 +96,14 @@ func TestCheckRegression(t *testing.T) {
 		{"new benchmark without baseline passes", []Entry{
 			{Name: "brand-new", AllocsPerOp: 10_000, Gate: true, MaxAllocs: -1},
 		}, 0},
+		{"setup metric within headroom", []Entry{
+			{Name: "setup", AllocsPerOp: 1100, Gate: true, MaxAllocs: -1,
+				Metrics: map[string]float64{"setup_allocs_per_op": 1100}},
+		}, 0},
+		{"setup metric regression", []Entry{
+			{Name: "setup", AllocsPerOp: 1100, Gate: true, MaxAllocs: -1,
+				Metrics: map[string]float64{"setup_allocs_per_op": 2000}},
+		}, 1},
 	}
 	for _, tc := range cases {
 		problems, err := checkRegression(baseline, tc.fresh, 0.25)

@@ -1,9 +1,37 @@
 package buffer
 
 import (
+	"repro/internal/pool"
 	"repro/internal/proto"
 	"repro/internal/rng"
 )
+
+// Pools groups the size-classed arenas that back the protocol buffers'
+// slices during bulk construction. A Pools value is shard-local: it is
+// not safe for concurrent use, and a sharded build gives each worker its
+// own (see pool package docs).
+type Pools struct {
+	PIDs   pool.Arena[proto.ProcessID]
+	Events pool.Arena[proto.Event]
+	IDs    pool.Arena[proto.EventID]
+	Unsubs pool.Arena[proto.Unsubscription]
+}
+
+// Stats aggregates the arenas' counters.
+func (p *Pools) Stats() pool.Stats {
+	var s pool.Stats
+	s.Add(p.PIDs.Stats())
+	s.Add(p.Events.Stats())
+	s.Add(p.IDs.Stats())
+	s.Add(p.Unsubs.Stats())
+	return s
+}
+
+// Static key functions shared by every buffer instance (a capture-free
+// func literal would also be static, but naming them makes that explicit).
+func unsubKey(u proto.Unsubscription) proto.ProcessID { return u.Process }
+func eventKey(e proto.Event) proto.EventID            { return e.ID }
+func idKey(id proto.EventID) proto.EventID            { return id }
 
 // PIDList is a bounded, duplicate-free list of process identifiers — the
 // representation of the subs buffer. Unlike the generic KeyedList it is
@@ -80,6 +108,15 @@ func (l *PIDList) Grow(n int) {
 	}
 }
 
+// GrowIn pre-allocates capacity for n identifiers from a pooled arena.
+func (l *PIDList) GrowIn(n int, p *Pools) {
+	if cap(l.items) < n {
+		items := p.PIDs.Make(n)[:len(l.items)]
+		copy(items, l.items)
+		l.items = items
+	}
+}
+
 // TruncateRandom removes uniformly chosen identifiers until Len() <= max,
 // returning the removed identifiers.
 func (l *PIDList) TruncateRandom(max int, r *rng.Source) []proto.ProcessID {
@@ -120,8 +157,13 @@ type UnsubList struct {
 
 // NewUnsubList creates an empty UnsubList.
 func NewUnsubList() *UnsubList {
-	return &UnsubList{*NewKeyedList(func(u proto.Unsubscription) proto.ProcessID { return u.Process })}
+	l := &UnsubList{}
+	l.Init()
+	return l
 }
+
+// Init prepares a zero-value UnsubList in place, allocation-free.
+func (l *UnsubList) Init() { l.inner.Init(unsubKey) }
 
 // Add inserts u, or refreshes the stamp of an existing entry if u is newer.
 // It reports whether the set of processes changed.
@@ -184,6 +226,9 @@ func (l *UnsubList) TruncateRandomDiscard(max int, r *rng.Source) int {
 // Grow pre-allocates capacity for n entries.
 func (l *UnsubList) Grow(n int) { l.inner.Grow(n) }
 
+// GrowIn pre-allocates capacity for n entries from a pooled arena.
+func (l *UnsubList) GrowIn(n int, p *Pools) { l.inner.GrowIn(n, &p.Unsubs) }
+
 // Expire drops every unsubscription whose stamp is older than now-ttl
 // (§3.4: "After a certain time, the unsubscription becomes obsolete").
 // It returns the number of entries dropped.
@@ -215,8 +260,13 @@ type EventBuffer struct {
 
 // NewEventBuffer creates an empty EventBuffer.
 func NewEventBuffer() *EventBuffer {
-	return &EventBuffer{*NewKeyedList(func(e proto.Event) proto.EventID { return e.ID })}
+	b := &EventBuffer{}
+	b.Init()
+	return b
 }
+
+// Init prepares a zero-value EventBuffer in place, allocation-free.
+func (b *EventBuffer) Init() { b.inner.Init(eventKey) }
 
 // Add inserts e unless already present, reporting whether it was added.
 func (b *EventBuffer) Add(e proto.Event) bool { return b.inner.Add(e) }
@@ -249,6 +299,9 @@ func (b *EventBuffer) TruncateRandomDiscard(max int, r *rng.Source) int {
 // Grow pre-allocates capacity for n events.
 func (b *EventBuffer) Grow(n int) { b.inner.Grow(n) }
 
+// GrowIn pre-allocates capacity for n events from a pooled arena.
+func (b *EventBuffer) GrowIn(n int, p *Pools) { b.inner.GrowIn(n, &p.Events) }
+
 // Remove deletes the event with the given id, reporting whether it was
 // present (used by weighted eviction policies).
 func (b *EventBuffer) Remove(id proto.EventID) bool { return b.inner.Remove(id) }
@@ -266,8 +319,13 @@ type IDBuffer struct {
 
 // NewIDBuffer creates an empty IDBuffer.
 func NewIDBuffer() *IDBuffer {
-	return &IDBuffer{*NewKeyedList(func(id proto.EventID) proto.EventID { return id })}
+	b := &IDBuffer{}
+	b.Init()
+	return b
 }
+
+// Init prepares a zero-value IDBuffer in place, allocation-free.
+func (b *IDBuffer) Init() { b.inner.Init(idKey) }
 
 // Add inserts id unless present, reporting whether it was added.
 func (b *IDBuffer) Add(id proto.EventID) bool { return b.inner.Add(id) }
@@ -302,6 +360,9 @@ func (b *IDBuffer) TruncateOldestDiscard(max int) int {
 // Grow pre-allocates capacity for n identifiers.
 func (b *IDBuffer) Grow(n int) { b.inner.Grow(n) }
 
+// GrowIn pre-allocates capacity for n identifiers from a pooled arena.
+func (b *IDBuffer) GrowIn(n int, p *Pools) { b.inner.GrowIn(n, &p.IDs) }
+
 // Archive is the bounded store of older notifications kept "only ... to
 // satisfy retransmission requests" (§3.2). Eviction is oldest-first.
 type Archive struct {
@@ -312,10 +373,15 @@ type Archive struct {
 // NewArchive creates an archive bounded at max events; max <= 0 disables
 // archiving entirely (Lookup always misses).
 func NewArchive(max int) *Archive {
-	return &Archive{
-		inner: *NewKeyedList(func(e proto.Event) proto.EventID { return e.ID }),
-		max:   max,
-	}
+	a := &Archive{}
+	a.Init(max)
+	return a
+}
+
+// Init prepares a zero-value Archive in place, allocation-free.
+func (a *Archive) Init(max int) {
+	a.inner.Init(eventKey)
+	a.max = max
 }
 
 // Store retains e for future retransmission, evicting oldest entries to

@@ -16,8 +16,13 @@ import (
 //
 // Compared to the flat IDBuffer, membership information about an in-order
 // prefix of each origin's stream costs O(1) instead of O(prefix length).
+//
+// The zero value is an empty digest: the origins map and each origin's
+// sparse set materialize lazily on first use, so constructing a process's
+// digest costs nothing and a process that only ever sees in-order
+// deliveries never allocates a sparse set at all.
 type CompactDigest struct {
-	origins map[proto.ProcessID]*originDigest
+	origins map[proto.ProcessID]originDigest
 }
 
 type originDigest struct {
@@ -27,7 +32,7 @@ type originDigest struct {
 
 // NewCompactDigest creates an empty digest.
 func NewCompactDigest() *CompactDigest {
-	return &CompactDigest{origins: make(map[proto.ProcessID]*originDigest)}
+	return &CompactDigest{}
 }
 
 // Contains reports whether id has been recorded. Sequence numbering starts
@@ -53,11 +58,7 @@ func (d *CompactDigest) Add(id proto.EventID) bool {
 	if id.Seq == 0 {
 		return false
 	}
-	od, ok := d.origins[id.Origin]
-	if !ok {
-		od = &originDigest{sparse: make(map[uint64]struct{})}
-		d.origins[id.Origin] = od
-	}
+	od := d.origins[id.Origin] // zero value for a new origin
 	if id.Seq <= od.watermark {
 		return false
 	}
@@ -74,9 +75,16 @@ func (d *CompactDigest) Add(id proto.EventID) bool {
 			delete(od.sparse, od.watermark+1)
 			od.watermark++
 		}
-		return true
+	} else {
+		if od.sparse == nil {
+			od.sparse = make(map[uint64]struct{})
+		}
+		od.sparse[id.Seq] = struct{}{}
 	}
-	od.sparse[id.Seq] = struct{}{}
+	if d.origins == nil {
+		d.origins = make(map[proto.ProcessID]originDigest)
+	}
+	d.origins[id.Origin] = od
 	return true
 }
 
@@ -96,10 +104,7 @@ func (d *CompactDigest) Origins() int { return len(d.origins) }
 
 // Watermark returns the contiguous delivered prefix for origin.
 func (d *CompactDigest) Watermark(origin proto.ProcessID) uint64 {
-	if od, ok := d.origins[origin]; ok {
-		return od.watermark
-	}
-	return 0
+	return d.origins[origin].watermark
 }
 
 // Forget drops all state for origin — used when an origin unsubscribes.

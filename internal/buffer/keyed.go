@@ -13,46 +13,93 @@
 package buffer
 
 import (
+	"repro/internal/pool"
 	"repro/internal/rng"
 )
 
+// smallMax is the list length up to which a KeyedList runs in "small
+// mode" with no hash index at all: membership is a linear scan over the
+// packed items slice. The protocol's buffers are bounded by configuration
+// at a few dozen entries (§3.2 — |events|m, |eventIds|m, |unSubs|m), and
+// at those sizes scanning beats a map while costing zero allocations; the
+// index materializes lazily only if a list actually outgrows the mode.
+const smallMax = 64
+
 // KeyedList is an insertion-ordered, duplicate-free list of values indexed
 // by a comparable key. It is the common substrate of the protocol buffers:
-// O(1) membership tests plus ordered iteration for FIFO eviction.
+// ordered iteration for FIFO eviction plus membership tests that are
+// linear scans while small and map lookups once past smallMax.
 //
 // KeyedList is not safe for concurrent use.
 type KeyedList[K comparable, V any] struct {
 	key   func(V) K
-	idx   map[K]struct{}
+	idx   map[K]struct{} // nil in small mode
 	items []V
 }
 
 // NewKeyedList creates a list whose elements are identified by key.
 func NewKeyedList[K comparable, V any](key func(V) K) *KeyedList[K, V] {
-	return &KeyedList[K, V]{key: key, idx: make(map[K]struct{})}
+	l := &KeyedList[K, V]{}
+	l.Init(key)
+	return l
+}
+
+// Init prepares a zero-value list in place — the allocation-free sibling
+// of NewKeyedList for lists embedded in pooled blocks.
+func (l *KeyedList[K, V]) Init(key func(V) K) {
+	l.key = key
+}
+
+// buildIdx leaves small mode, materializing the index from items.
+func (l *KeyedList[K, V]) buildIdx(hint int) {
+	if h := 2 * len(l.items); h > hint {
+		hint = h
+	}
+	idx := make(map[K]struct{}, hint)
+	for _, v := range l.items {
+		idx[l.key(v)] = struct{}{}
+	}
+	l.idx = idx
+}
+
+// contains is the mode-dispatched membership test.
+func (l *KeyedList[K, V]) contains(k K) bool {
+	if l.idx == nil {
+		for _, v := range l.items {
+			if l.key(v) == k {
+				return true
+			}
+		}
+		return false
+	}
+	_, ok := l.idx[k]
+	return ok
 }
 
 // Add appends v unless an element with the same key is present. It reports
 // whether the element was added.
 func (l *KeyedList[K, V]) Add(v V) bool {
 	k := l.key(v)
-	if _, dup := l.idx[k]; dup {
+	if l.contains(k) {
 		return false
 	}
-	l.idx[k] = struct{}{}
 	l.items = append(l.items, v)
+	if l.idx != nil {
+		l.idx[k] = struct{}{}
+	} else if len(l.items) > smallMax {
+		l.buildIdx(0)
+	}
 	return true
 }
 
 // Contains reports whether an element with key k is present.
 func (l *KeyedList[K, V]) Contains(k K) bool {
-	_, ok := l.idx[k]
-	return ok
+	return l.contains(k)
 }
 
 // Get returns the element with key k.
 func (l *KeyedList[K, V]) Get(k K) (V, bool) {
-	if _, ok := l.idx[k]; ok {
+	if l.idx == nil || l.contains(k) {
 		for _, v := range l.items {
 			if l.key(v) == k {
 				return v, true
@@ -66,17 +113,19 @@ func (l *KeyedList[K, V]) Get(k K) (V, bool) {
 // Remove deletes the element with key k, preserving the order of the rest.
 // It reports whether an element was removed.
 func (l *KeyedList[K, V]) Remove(k K) bool {
-	if _, ok := l.idx[k]; !ok {
-		return false
+	if l.idx != nil {
+		if _, ok := l.idx[k]; !ok {
+			return false
+		}
+		delete(l.idx, k)
 	}
-	delete(l.idx, k)
 	for i, v := range l.items {
 		if l.key(v) == k {
 			l.items = append(l.items[:i], l.items[i+1:]...)
 			return true
 		}
 	}
-	return false // unreachable: idx and items are kept consistent
+	return false // small mode: absent; indexed mode: unreachable
 }
 
 // Len returns the number of elements.
@@ -130,22 +179,44 @@ func (l *KeyedList[K, V]) TruncateRandom(max int, r *rng.Source) []V {
 // path (the long convergence tail of growing thousands of per-process
 // buffers toward their high-water marks one append at a time).
 func (l *KeyedList[K, V]) Grow(n int) {
-	if cap(l.items) < n {
-		items := make([]V, len(l.items), n)
-		copy(items, l.items)
-		l.items = items
+	l.growItems(n, nil)
+	l.growIdx(n)
+}
+
+// GrowIn is Grow with the items backing array drawn from a size-classed
+// arena, so pre-sizing thousands of per-process buffers costs amortized
+// chunk allocations instead of one heap allocation each.
+func (l *KeyedList[K, V]) GrowIn(n int, a *pool.Arena[V]) {
+	l.growItems(n, a)
+	l.growIdx(n)
+}
+
+func (l *KeyedList[K, V]) growItems(n int, a *pool.Arena[V]) {
+	if cap(l.items) >= n {
+		return
 	}
-	// Rebuild the index with twice the capacity hint: delete/insert churn
-	// at occupancy n still triggers occasional incremental map growth at a
-	// 1x hint (tombstone pressure), and across thousands of process
-	// buffers that trickle dominates steady-state allocation. The doubled
-	// hint absorbs it entirely.
-	if len(l.idx) < n {
-		idx := make(map[K]struct{}, 2*n)
-		for k := range l.idx {
-			idx[k] = struct{}{}
-		}
-		l.idx = idx
+	var items []V
+	if a != nil {
+		items = a.Make(n)[:len(l.items)]
+	} else {
+		items = make([]V, len(l.items), n)
+	}
+	copy(items, l.items)
+	l.items = items
+}
+
+func (l *KeyedList[K, V]) growIdx(n int) {
+	// A bound inside small mode needs no index at all. Past it, rebuild
+	// with twice the capacity hint: delete/insert churn at occupancy n
+	// still triggers occasional incremental map growth at a 1x hint
+	// (tombstone pressure), and across thousands of process buffers that
+	// trickle dominates steady-state allocation. The doubled hint absorbs
+	// it entirely.
+	if n <= smallMax {
+		return
+	}
+	if l.idx == nil || len(l.idx) < n {
+		l.buildIdx(2 * n)
 	}
 }
 

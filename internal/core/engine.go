@@ -196,6 +196,7 @@ type Engine struct {
 	compact *buffer.CompactDigest
 	archive *buffer.Archive
 	deliver Deliverer
+	sink    EventSink // interface alternative to deliver (see NewIn)
 	rng     *rng.Source
 
 	nextSeq      uint64
@@ -357,6 +358,8 @@ func (e *Engine) deliverEvent(ev proto.Event) {
 	e.archive.Store(ev)
 	if e.deliver != nil {
 		e.deliver(ev)
+	} else if e.sink != nil {
+		e.sink.DeliverEvent(ev)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/idmap"
 	"repro/internal/proto"
 	"repro/internal/rng"
 )
@@ -75,36 +76,49 @@ func (b *Burst) Drop(_, _ proto.ProcessID, _ uint64) bool {
 // InBadState reports whether the channel is currently bursting.
 func (b *Burst) InBadState() bool { return b.bad }
 
-// CrashSchedule decides which processes are crashed at a given time.
+// CrashSchedule decides which processes are crashed at a given time. It
+// is keyed on dense indices from an idmap.Table, so the per-message
+// Crashed probe in the simulator fabric is two array loads rather than a
+// map lookup. Only processes with a scheduled crash occupy the table —
+// everybody else misses the forward array and is alive forever.
 type CrashSchedule struct {
-	crashAt map[proto.ProcessID]uint64
+	idx   idmap.Table
+	times []uint64 // times[ix] = earliest scheduled crash for idx.ID(ix)
 }
 
 // NewCrashSchedule creates an empty schedule (nobody ever crashes).
 func NewCrashSchedule() *CrashSchedule {
-	return &CrashSchedule{crashAt: make(map[proto.ProcessID]uint64)}
+	return &CrashSchedule{}
 }
 
 // CrashAt schedules p to crash at time t (inclusive). Crashed processes do
 // not recover (§4.1: "We do not take into account the recovery of crashed
 // processes").
 func (s *CrashSchedule) CrashAt(p proto.ProcessID, t uint64) {
-	if cur, ok := s.crashAt[p]; !ok || t < cur {
-		s.crashAt[p] = t
+	if ix, ok := s.idx.Lookup(p); ok {
+		if t < s.times[ix] {
+			s.times[ix] = t
+		}
+		return
 	}
+	ix := s.idx.Add(p)
+	for uint64(len(s.times)) <= uint64(ix) {
+		s.times = append(s.times, 0)
+	}
+	s.times[ix] = t
 }
 
 // Crashed reports whether p is crashed at time now.
 func (s *CrashSchedule) Crashed(p proto.ProcessID, now uint64) bool {
-	t, ok := s.crashAt[p]
-	return ok && now >= t
+	ix, ok := s.idx.Lookup(p)
+	return ok && now >= s.times[ix]
 }
 
 // CrashedCount returns how many processes are crashed at time now.
 func (s *CrashSchedule) CrashedCount(now uint64) int {
 	n := 0
-	for _, t := range s.crashAt {
-		if now >= t {
+	for ix, t := range s.times {
+		if now >= t && s.idx.ID(idmap.Index(ix)) != proto.NilProcess {
 			n++
 		}
 	}
@@ -114,8 +128,8 @@ func (s *CrashSchedule) CrashedCount(now uint64) int {
 // CrashedProcesses returns the sorted ids crashed at time now.
 func (s *CrashSchedule) CrashedProcesses(now uint64) []proto.ProcessID {
 	var out []proto.ProcessID
-	for p, t := range s.crashAt {
-		if now >= t {
+	for ix, t := range s.times {
+		if p := s.idx.ID(idmap.Index(ix)); p != proto.NilProcess && now >= t {
 			out = append(out, p)
 		}
 	}
@@ -152,5 +166,5 @@ func (s *CrashSchedule) SampleCrashes(processes []proto.ProcessID, tau float64, 
 
 // String implements fmt.Stringer.
 func (s *CrashSchedule) String() string {
-	return fmt.Sprintf("crashes(%d scheduled)", len(s.crashAt))
+	return fmt.Sprintf("crashes(%d scheduled)", s.idx.Len())
 }

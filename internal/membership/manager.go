@@ -99,7 +99,7 @@ type Manager struct {
 	view   *View
 	subs   *buffer.PIDList
 	unsubs *buffer.UnsubList
-	keep   map[proto.ProcessID]bool
+	keep   []proto.ProcessID // prioritary set, usually empty; nil allocs
 	rng    *rng.Source
 
 	unsubscribed bool
@@ -123,23 +123,36 @@ func NewManager(self proto.ProcessID, cfg Config, r *rng.Source) (*Manager, erro
 		view:   NewView(self),
 		subs:   buffer.NewPIDList(),
 		unsubs: buffer.NewUnsubList(),
-		keep:   make(map[proto.ProcessID]bool, len(cfg.Prioritary)),
 		rng:    r,
 	}
-	// Pre-size every bounded buffer to its transient high-water mark (the
-	// configured bound plus one gossip's worth of inflow), so the
-	// per-message view/subs churn never reallocates in steady state.
-	inflow := cfg.MaxSubs + 2
-	m.view.Grow(cfg.MaxView + inflow)
-	m.subs.Grow(cfg.MaxSubs + cfg.MaxView + inflow)
-	m.unsubs.Grow(cfg.MaxUnsubs + inflow)
-	for _, p := range cfg.Prioritary {
-		if p != self {
-			m.keep[p] = true
-			m.view.Add(p)
+	m.presize(nil)
+	return m, nil
+}
+
+// presize grows every bounded buffer to its transient high-water mark
+// (the configured bound plus one gossip's worth of inflow), so the
+// per-message view/subs churn never reallocates in steady state, and
+// installs the prioritary set.
+func (m *Manager) presize(p *Pools) {
+	inflow := m.cfg.MaxSubs + 2
+	if p != nil {
+		m.view.GrowIn(m.cfg.MaxView+inflow, p)
+		m.subs.GrowIn(m.cfg.MaxSubs+m.cfg.MaxView+inflow, &p.Buf)
+		m.unsubs.GrowIn(m.cfg.MaxUnsubs+inflow, &p.Buf)
+	} else {
+		m.view.Grow(m.cfg.MaxView + inflow)
+		m.subs.Grow(m.cfg.MaxSubs + m.cfg.MaxView + inflow)
+		m.unsubs.Grow(m.cfg.MaxUnsubs + inflow)
+	}
+	for _, q := range m.cfg.Prioritary {
+		if q != m.self {
+			if p != nil && m.keep == nil {
+				m.keep = p.Buf.PIDs.Make(len(m.cfg.Prioritary))[:0]
+			}
+			m.keep = append(m.keep, q)
+			m.view.Add(q)
 		}
 	}
-	return m, nil
 }
 
 // Self returns the owning process id.

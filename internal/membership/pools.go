@@ -1,0 +1,68 @@
+package membership
+
+import (
+	"errors"
+
+	"repro/internal/buffer"
+	"repro/internal/pool"
+	"repro/internal/proto"
+	"repro/internal/rng"
+)
+
+// Pools groups the arenas backing membership state during bulk
+// construction: view entry lists and truncation scratch, plus the
+// protocol-buffer arenas shared with the buffer layer. Like all pools it
+// is shard-local — one per construction worker, never shared.
+type Pools struct {
+	Buf     buffer.Pools
+	Entries pool.Arena[Entry]
+	Ints    pool.Arena[int]
+}
+
+// Stats aggregates the pools' counters.
+func (p *Pools) Stats() pool.Stats {
+	s := p.Buf.Stats()
+	s.Add(p.Entries.Stats())
+	s.Add(p.Ints.Stats())
+	return s
+}
+
+// ManagerBlock is a Manager together with the view and buffer state it
+// manages, laid out as one contiguous block so a pooled allocation (or an
+// embedding in a larger per-process record) constructs a whole membership
+// stack with zero individual heap allocations.
+type ManagerBlock struct {
+	M Manager
+
+	view   View
+	subs   buffer.PIDList
+	unsubs buffer.UnsubList
+}
+
+// Init prepares a zero-value block in place, wiring the Manager to the
+// block's own view and buffers and pre-sizing them from pools (which may
+// be nil to fall back to plain allocation). It mirrors NewManager's
+// validation and behaviour exactly.
+func (b *ManagerBlock) Init(self proto.ProcessID, cfg Config, r *rng.Source, p *Pools) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if self == proto.NilProcess {
+		return errors.New("membership: self must be a valid process id")
+	}
+	if r == nil {
+		return errors.New("membership: rng source must not be nil")
+	}
+	b.view.Init(self)
+	b.unsubs.Init()
+	b.M = Manager{
+		self:   self,
+		cfg:    cfg,
+		view:   &b.view,
+		subs:   &b.subs,
+		unsubs: &b.unsubs,
+		rng:    r,
+	}
+	b.M.presize(p)
+	return nil
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/idmap"
 	"repro/internal/proto"
 	"repro/internal/rng"
 )
@@ -46,6 +47,7 @@ type View struct {
 	candScratch []int             // reused by truncate (eviction candidates)
 	bestScratch []int             // reused by truncate (weighted tie set)
 	removed     []proto.ProcessID // reused by truncate (return value)
+	keepBits    idmap.Bitset      // reused by truncate (kept positions)
 }
 
 // NewView creates an empty view owned by owner. The owner can never be
@@ -53,6 +55,10 @@ type View struct {
 func NewView(owner proto.ProcessID) *View {
 	return &View{owner: owner}
 }
+
+// Init prepares a zero-value view in place — the allocation-free sibling
+// of NewView for views embedded in pooled blocks.
+func (v *View) Init(owner proto.ProcessID) { v.owner = owner }
 
 // Owner returns the owning process.
 func (v *View) Owner() proto.ProcessID { return v.owner }
@@ -64,17 +70,34 @@ func (v *View) Owner() proto.ProcessID { return v.owner }
 // it, thousands of views grow their buffers toward the high-water mark one
 // append at a time, a convergence tail that dominates steady-state
 // allocation in large simulations.
-func (v *View) Grow(n int) {
+func (v *View) Grow(n int) { v.growIn(n, nil) }
+
+// GrowIn is Grow with every backing slice drawn from pooled arenas, so
+// pre-sizing thousands of per-process views costs amortized chunk
+// allocations instead of five heap allocations each.
+func (v *View) GrowIn(n int, p *Pools) { v.growIn(n, p) }
+
+func (v *View) growIn(n int, p *Pools) {
 	grow := func(s []int) []int {
-		if cap(s) < n {
-			g := make([]int, len(s), n)
-			copy(g, s)
-			return g
+		if cap(s) >= n {
+			return s
 		}
-		return s
+		var g []int
+		if p != nil {
+			g = p.Ints.Make(n)[:len(s)]
+		} else {
+			g = make([]int, len(s), n)
+		}
+		copy(g, s)
+		return g
 	}
 	if cap(v.list) < n {
-		list := make([]Entry, len(v.list), n)
+		var list []Entry
+		if p != nil {
+			list = p.Entries.Make(n)[:len(v.list)]
+		} else {
+			list = make([]Entry, len(v.list), n)
+		}
 		copy(list, v.list)
 		v.list = list
 	}
@@ -82,7 +105,12 @@ func (v *View) Grow(n int) {
 	v.candScratch = grow(v.candScratch)
 	v.bestScratch = grow(v.bestScratch)
 	if cap(v.removed) < n {
-		removed := make([]proto.ProcessID, len(v.removed), n)
+		var removed []proto.ProcessID
+		if p != nil {
+			removed = p.Buf.PIDs.Make(n)[:len(v.removed)]
+		} else {
+			removed = make([]proto.ProcessID, len(v.removed), n)
+		}
 		copy(removed, v.removed)
 		v.removed = removed
 	}
@@ -212,11 +240,12 @@ func (v *View) removeAt(i int) Entry {
 }
 
 // TruncateUniform removes uniformly chosen entries until Len() <= max,
-// never evicting processes in keep. Removed processes are returned (they
-// stay eligible for forwarding via subs, per Fig. 1(a) phase 2). The
-// returned slice is scratch reused by the next truncation: consume it
-// before calling any Truncate* method again, and do not retain it.
-func (v *View) TruncateUniform(max int, keep map[proto.ProcessID]bool, r *rng.Source) []proto.ProcessID {
+// never evicting processes in keep (the prioritary set, usually empty or
+// a handful of ids). Removed processes are returned (they stay eligible
+// for forwarding via subs, per Fig. 1(a) phase 2). The returned slice is
+// scratch reused by the next truncation: consume it before calling any
+// Truncate* method again, and do not retain it.
+func (v *View) TruncateUniform(max int, keep []proto.ProcessID, r *rng.Source) []proto.ProcessID {
 	return v.truncate(max, keep, false, r)
 }
 
@@ -225,7 +254,7 @@ func (v *View) TruncateUniform(max int, keep map[proto.ProcessID]bool, r *rng.So
 // "are more probable of being known by many other processes" and are
 // evicted first. Entries in keep are never evicted. The returned slice
 // follows TruncateUniform's scratch-reuse contract.
-func (v *View) TruncateWeighted(max int, keep map[proto.ProcessID]bool, r *rng.Source) []proto.ProcessID {
+func (v *View) TruncateWeighted(max int, keep []proto.ProcessID, r *rng.Source) []proto.ProcessID {
 	return v.truncate(max, keep, true, r)
 }
 
@@ -233,18 +262,42 @@ func (v *View) TruncateWeighted(max int, keep map[proto.ProcessID]bool, r *rng.S
 // or the highest-weight entry with uniform tie-breaking when weighted is
 // set. If every entry is protected by keep, the view is left over-full
 // rather than evicting a prioritary process. All bookkeeping lives in
-// scratch slices retained on the View, so truncation under gossip churn —
-// the per-message hot path of a large simulation — does not allocate.
-func (v *View) truncate(max int, keep map[proto.ProcessID]bool, weighted bool, r *rng.Source) []proto.ProcessID {
+// scratch retained on the View — including the position bitset marking
+// kept entries — so truncation under gossip churn, the per-message hot
+// path of a large simulation, does not allocate. Random draws are
+// independent of whether the keep set arrives empty or is consulted via
+// the bitset: candidates are always enumerated in ascending position
+// order, exactly as the historical map-based implementation did.
+func (v *View) truncate(max int, keep []proto.ProcessID, weighted bool, r *rng.Source) []proto.ProcessID {
 	if max < 0 {
 		max = 0
 	}
 	removed := v.removed[:0]
+	if len(v.list) > max && len(keep) > 0 {
+		// Mark kept positions once; removeAt swap-removes, so the marks
+		// are maintained with a bit move per eviction instead of a rescan.
+		v.keepBits.Clear()
+		v.keepBits.Grow(len(v.list))
+		for i := range v.list {
+			for _, k := range keep {
+				if v.list[i].Process == k {
+					v.keepBits.Set(i)
+					break
+				}
+			}
+		}
+	}
 	for len(v.list) > max {
 		cands := v.candScratch[:0]
-		for i, e := range v.list {
-			if !keep[e.Process] {
+		if len(keep) == 0 {
+			for i := range v.list {
 				cands = append(cands, i)
+			}
+		} else {
+			for i := range v.list {
+				if !v.keepBits.Get(i) {
+					cands = append(cands, i)
+				}
 			}
 		}
 		v.candScratch = cands
@@ -268,6 +321,9 @@ func (v *View) truncate(max int, keep map[proto.ProcessID]bool, weighted bool, r
 			victim = best[r.Intn(len(best))]
 		} else {
 			victim = cands[r.Intn(len(cands))]
+		}
+		if len(keep) > 0 {
+			v.keepBits.Move(len(v.list)-1, victim)
 		}
 		e := v.removeAt(victim)
 		removed = append(removed, e.Process)

@@ -123,7 +123,7 @@ func TestTruncateUniform(t *testing.T) {
 func TestTruncateKeepsPrioritary(t *testing.T) {
 	t.Parallel()
 	r := rng.New(7)
-	keep := map[proto.ProcessID]bool{2: true, 3: true}
+	keep := []proto.ProcessID{2, 3}
 	for trial := 0; trial < 50; trial++ {
 		v := NewView(1)
 		for i := uint64(2); i <= 21; i++ {
@@ -142,7 +142,7 @@ func TestTruncateAllKept(t *testing.T) {
 	v := NewView(1)
 	v.Add(2)
 	v.Add(3)
-	keep := map[proto.ProcessID]bool{2: true, 3: true}
+	keep := []proto.ProcessID{2, 3}
 	if removed := v.TruncateUniform(1, keep, r); removed != nil {
 		t.Fatalf("evicted protected entries: %v", removed)
 	}
@@ -231,5 +231,33 @@ func TestViewString(t *testing.T) {
 	v.Add(2)
 	if got := v.String(); got != "view(p1)[p2 p3]" {
 		t.Errorf("String = %q", got)
+	}
+}
+
+// TestTruncateKeepAllocFree regression-gates the keep path: protecting
+// prioritary entries during truncation must not allocate — the historical
+// implementation built a map per manager, the current one marks positions
+// in a bitset retained on the View.
+func TestTruncateKeepAllocFree(t *testing.T) {
+	r := rng.New(7)
+	v := NewView(1)
+	v.Grow(64)
+	keep := []proto.ProcessID{2, 3}
+	cycle := func() {
+		for i := uint64(2); i <= 40; i++ {
+			v.Add(proto.ProcessID(i))
+		}
+		v.TruncateUniform(5, keep, r)
+		for i := uint64(2); i <= 40; i++ {
+			v.Add(proto.ProcessID(i))
+		}
+		v.TruncateWeighted(5, keep, r)
+	}
+	cycle() // warm the retained scratch and bitset
+	if allocs := testing.AllocsPerRun(20, cycle); allocs != 0 {
+		t.Fatalf("truncation with keep set cost %.1f allocs/run, want 0", allocs)
+	}
+	if !v.Contains(2) || !v.Contains(3) {
+		t.Fatal("prioritary entries evicted")
 	}
 }

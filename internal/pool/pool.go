@@ -1,0 +1,198 @@
+// Package pool provides size-classed, free-listed allocators for the
+// simulator's bulk state: typed slabs for fixed-size records (engine
+// blocks) and size-classed arenas for the bounded slices the protocol
+// buffers are built from. The design follows trex-emu's mbuf layer:
+// allocations are carved from large chunks, freed objects go to per-class
+// free lists for exact-size reuse, and every pool tracks its own
+// statistics so the memory footprint of a million-process experiment is
+// observable instead of folklore.
+//
+// Pools are deliberately NOT safe for concurrent use. A concurrent
+// consumer gives each worker its own pool (shard-local allocation), which
+// both avoids locks and keeps chunk locality per shard — this is how the
+// sharded simulator parallelizes cluster construction.
+package pool
+
+import "unsafe"
+
+// Stats counts one pool's activity. Gets - Reuses is the number of
+// objects carved from fresh chunk memory; Chunks is how many backing
+// allocations the Go heap actually saw, which is the figure that matters
+// for setup allocation budgets.
+type Stats struct {
+	// Gets counts objects or slices handed out.
+	Gets uint64
+	// Puts counts objects or slices returned for reuse.
+	Puts uint64
+	// Reuses counts Gets served from a free list instead of chunk memory.
+	Reuses uint64
+	// Chunks counts backing-array allocations made on the Go heap.
+	Chunks uint64
+	// Oversize counts requests larger than the biggest size class, which
+	// fall through to plain make and are never recycled.
+	Oversize uint64
+	// ChunkBytes approximates the bytes reserved in backing chunks.
+	ChunkBytes uint64
+}
+
+// Add merges o into s (for aggregating shard-local pools).
+func (s *Stats) Add(o Stats) {
+	s.Gets += o.Gets
+	s.Puts += o.Puts
+	s.Reuses += o.Reuses
+	s.Chunks += o.Chunks
+	s.Oversize += o.Oversize
+	s.ChunkBytes += o.ChunkBytes
+}
+
+// slabChunk is how many records a Slab reserves per backing allocation.
+const slabChunk = 128
+
+// Slab hands out pointers to zeroed T records carved from chunked backing
+// arrays, with a free list for recycling. One chunk allocation serves
+// slabChunk Gets, so constructing thousands of records costs O(records /
+// slabChunk) heap allocations instead of O(records).
+type Slab[T any] struct {
+	chunk []T
+	free  []*T
+	stats Stats
+}
+
+// Get returns a pointer to a zeroed T.
+func (s *Slab[T]) Get() *T {
+	s.stats.Gets++
+	if n := len(s.free); n > 0 {
+		p := s.free[n-1]
+		s.free = s.free[:n-1]
+		s.stats.Reuses++
+		var zero T
+		*p = zero
+		return p
+	}
+	if len(s.chunk) == 0 {
+		s.chunk = make([]T, slabChunk)
+		s.stats.Chunks++
+		var t T
+		s.stats.ChunkBytes += uint64(slabChunk) * uint64(sizeOf(&t))
+	}
+	p := &s.chunk[0]
+	s.chunk = s.chunk[1:]
+	return p
+}
+
+// Put recycles p for a future Get. The record is zeroed on reuse, not
+// here, so a Put is O(1); callers must not retain p afterwards.
+func (s *Slab[T]) Put(p *T) {
+	if p == nil {
+		return
+	}
+	s.stats.Puts++
+	s.free = append(s.free, p)
+}
+
+// Stats returns a snapshot of the slab's counters.
+func (s *Slab[T]) Stats() Stats { return s.stats }
+
+// Arena size classes are powers of two in [minClass, maxClass]. Requests
+// above maxClass fall through to plain make: they are rare, unbounded,
+// and recycling them would pin arbitrary memory.
+const (
+	minClassShift = 3 // 8
+	maxClassShift = 16
+	numClasses    = maxClassShift - minClassShift + 1
+)
+
+// arenaChunkElems bounds one chunk's element count so big classes do not
+// reserve absurd blocks: a chunk holds whole class-sized stripes.
+const arenaChunkElems = 1 << 12
+
+// Arena is a size-classed slice allocator: Make(n) returns a zeroed
+// slice with len n and cap equal to n's size class, carved from chunked
+// backing arrays; Free returns a slice for exact-class reuse. Slices from
+// the same arena share chunks, so growing thousands of bounded protocol
+// buffers costs a handful of chunk allocations.
+type Arena[T any] struct {
+	classes [numClasses]arenaClass[T]
+	stats   Stats
+}
+
+type arenaClass[T any] struct {
+	chunk []T
+	free  [][]T
+}
+
+// classFor maps a request to its class index, or -1 for oversize.
+func classFor(n int) int {
+	if n <= 0 {
+		n = 1
+	}
+	c := 0
+	size := 1 << minClassShift
+	for size < n {
+		size <<= 1
+		c++
+	}
+	if c >= numClasses {
+		return -1
+	}
+	return c
+}
+
+// Make returns a zeroed slice of length n whose capacity is n's size
+// class. Oversize requests are served by plain make.
+func (a *Arena[T]) Make(n int) []T {
+	a.stats.Gets++
+	c := classFor(n)
+	if c < 0 {
+		a.stats.Oversize++
+		return make([]T, n)
+	}
+	cl := &a.classes[c]
+	classSize := 1 << (minClassShift + c)
+	if k := len(cl.free); k > 0 {
+		s := cl.free[k-1]
+		cl.free = cl.free[:k-1]
+		a.stats.Reuses++
+		s = s[:classSize]
+		var zero T
+		for i := range s {
+			s[i] = zero
+		}
+		return s[:n]
+	}
+	if len(cl.chunk) < classSize {
+		elems := arenaChunkElems
+		if elems < classSize {
+			elems = classSize
+		}
+		cl.chunk = make([]T, elems)
+		a.stats.Chunks++
+		var t T
+		a.stats.ChunkBytes += uint64(elems) * uint64(sizeOf(&t))
+	}
+	s := cl.chunk[:classSize:classSize]
+	cl.chunk = cl.chunk[classSize:]
+	return s[:n]
+}
+
+// Free returns s for reuse. Only exact class-capacity slices are
+// recycled; anything else (oversize, subsliced capacity) is dropped for
+// the GC. Callers must not retain s afterwards.
+func (a *Arena[T]) Free(s []T) {
+	if cap(s) == 0 {
+		return
+	}
+	c := classFor(cap(s))
+	if c < 0 || cap(s) != 1<<(minClassShift+c) {
+		return
+	}
+	a.stats.Puts++
+	cl := &a.classes[c]
+	cl.free = append(cl.free, s[:0])
+}
+
+// Stats returns a snapshot of the arena's counters.
+func (a *Arena[T]) Stats() Stats { return a.stats }
+
+// sizeOf reports T's size; it only feeds the ChunkBytes statistic.
+func sizeOf[T any](t *T) uintptr { return unsafe.Sizeof(*t) }

@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/idmap"
 	"repro/internal/proto"
 	"repro/internal/rng"
 	"repro/internal/stats"
@@ -123,7 +124,12 @@ type Bus struct {
 	maxChase int
 	now      uint64
 	nextPID  proto.ProcessID
-	members  map[proto.ProcessID]*member
+	// index maps live pids onto dense slots in members. Pids are assigned
+	// monotonically forever, but leaves release their slots for reuse, so
+	// under churn the member table stays bounded by the peak concurrent
+	// membership instead of growing with every subscription ever made.
+	index   idmap.Table
+	members []*member // members[ix] for live index ix, nil otherwise
 	// order holds the registered pids in ascending order (pids are
 	// assigned monotonically, so append and targeted removal keep it
 	// sorted); Step ticks members in this deterministic order without
@@ -217,7 +223,6 @@ func NewBus(cfg Config) (*Bus, error) {
 		hasParts: len(cfg.Partitions) > 0,
 		maxChase: cfg.MaxChase,
 		nextPID:  1,
-		members:  make(map[proto.ProcessID]*member),
 		topics:   make(map[string]*topicState),
 	}
 	if b.maxChase == 0 {
@@ -331,7 +336,7 @@ func (b *Bus) join(client, topic string, h Handler) (*Subscription, error) {
 	}
 	m.topic = ts
 	existing := b.activeTopicMembers(ts)
-	b.members[pid] = m
+	b.insertMember(pid, m)
 	b.order = append(b.order, pid)
 	ts.pids = append(ts.pids, pid)
 	if len(existing) > 0 {
@@ -343,7 +348,7 @@ func (b *Bus) join(client, topic string, h Handler) (*Subscription, error) {
 			// Roll back the half-registration: without this the pid stayed
 			// in members and the topic list, gossiping forever and
 			// overcounting TopicSize while the caller saw only an error.
-			delete(b.members, pid)
+			b.dropMember(pid)
 			b.order = b.order[:len(b.order)-1]
 			ts.pids = ts.pids[:len(ts.pids)-1]
 			if created {
@@ -362,11 +367,37 @@ func (b *Bus) join(client, topic string, h Handler) (*Subscription, error) {
 	return &Subscription{topic: topic, pid: pid}, nil
 }
 
+// lookupMember resolves a pid to its member record through the dense
+// index; nil means the pid has left (or never existed).
+func (b *Bus) lookupMember(pid proto.ProcessID) *member {
+	if ix, ok := b.index.Lookup(pid); ok {
+		return b.members[ix]
+	}
+	return nil
+}
+
+// insertMember assigns pid a dense slot and installs its record.
+func (b *Bus) insertMember(pid proto.ProcessID, m *member) {
+	ix := b.index.Add(pid)
+	for uint64(len(b.members)) <= uint64(ix) {
+		b.members = append(b.members, nil)
+	}
+	b.members[ix] = m
+}
+
+// dropMember releases pid's slot for reuse by a future subscription.
+func (b *Bus) dropMember(pid proto.ProcessID) {
+	if ix, ok := b.index.Lookup(pid); ok {
+		b.members[ix] = nil
+		b.index.Release(pid)
+	}
+}
+
 // activeTopicMembers lists non-leaving members of a topic.
 func (b *Bus) activeTopicMembers(ts *topicState) []proto.ProcessID {
 	var out []proto.ProcessID
 	for _, pid := range ts.pids {
-		if m, ok := b.members[pid]; ok && m.leaving == 0 {
+		if m := b.lookupMember(pid); m != nil && m.leaving == 0 {
 			out = append(out, pid)
 		}
 	}
@@ -394,8 +425,8 @@ func (s *Subscription) publish(payload []byte) (proto.Event, error) {
 	}
 	b := s.client.bus
 	b.mu.Lock()
-	m, ok := b.members[s.pid]
-	if !ok {
+	m := b.lookupMember(s.pid)
+	if m == nil {
 		b.mu.Unlock()
 		return proto.Event{}, errors.New("pubsub: member no longer exists")
 	}
@@ -432,7 +463,7 @@ func (s *Subscription) Cancel() error {
 
 	b := c.bus
 	b.mu.Lock()
-	if m, ok := b.members[s.pid]; ok {
+	if m := b.lookupMember(s.pid); m != nil {
 		if err := m.engine.Unsubscribe(b.now); err != nil {
 			// Refused (unSubs buffer full, §3.4): nothing has been
 			// mutated, so there is nothing to roll back; the caller can
@@ -475,7 +506,7 @@ func (b *Bus) stepLocked() {
 	}
 	removals := b.removals[:0]
 	for _, pid := range b.order {
-		m := b.members[pid]
+		m := b.lookupMember(pid)
 		queue = m.engine.TickAppend(b.now, queue)
 		for len(tally) < len(queue) {
 			tally = append(tally, m.topic)
@@ -522,8 +553,8 @@ func (b *Bus) dispatchLocked(pre int) {
 				// message was in the air — that is an unknown destination
 				// now, same as the simulator's to-crashed re-check.
 				ts.net.InFlight--
-				m, ok := b.members[msg.To]
-				if !ok {
+				m := b.lookupMember(msg.To)
+				if m == nil {
 					ts.net.UnknownDest++
 					continue
 				}
@@ -560,8 +591,8 @@ func (b *Bus) dispatchLocked(pre int) {
 // simulator's classify, so the two harnesses model the same network.
 func (b *Bus) classify(msg proto.Message, ts *topicState) (*member, bool) {
 	ts.net.Sent++
-	dst, ok := b.members[msg.To]
-	if !ok {
+	dst := b.lookupMember(msg.To)
+	if dst == nil {
 		// Views keep naming members for a while after they leave; their
 		// traffic is accounted, not silently dropped.
 		ts.net.UnknownDest++
@@ -635,11 +666,11 @@ func (b *Bus) flushLocked() {
 // removeMember drops a member from routing and its topic list. The
 // topicState itself is retained so the topic's NetStats survive.
 func (b *Bus) removeMember(pid proto.ProcessID) {
-	m, ok := b.members[pid]
-	if !ok {
+	m := b.lookupMember(pid)
+	if m == nil {
 		return
 	}
-	delete(b.members, pid)
+	b.dropMember(pid)
 	if i := sort.Search(len(b.order), func(i int) bool { return b.order[i] >= pid }); i < len(b.order) && b.order[i] == pid {
 		b.order = append(b.order[:i], b.order[i+1:]...)
 	}

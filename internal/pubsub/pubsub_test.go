@@ -400,17 +400,20 @@ func TestManyTopicsStayIsolatedAndCheap(t *testing.T) {
 // half-registered-member leak: when JoinVia rejects the chosen contact,
 // the failed subscriber used to stay in the member table and the topic
 // list, gossiping forever and inflating TopicSize. The test plants a
-// ghost member under proto.NilProcess — the one contact JoinVia always
-// refuses — so the bootstrap fails deterministically, then asserts the
-// registration was fully rolled back.
+// ghost topic member under the pid the joiner itself will be assigned,
+// so the bootstrap contact draw returns the joiner's own pid — the one
+// contact JoinVia always refuses — and the join fails deterministically
+// after the half-registration. The test then asserts the registration
+// was fully rolled back.
 func TestJoinRollbackOnJoinViaFailure(t *testing.T) {
 	t.Parallel()
 	b := newTestBus(t, Config{Seed: 10})
 	ts := &topicState{name: "t"}
 	b.topics["t"] = ts
-	ghost := &member{pid: proto.NilProcess, topic: ts}
-	b.members[proto.NilProcess] = ghost
-	ts.pids = append(ts.pids, proto.NilProcess)
+	ghostPID := b.nextPID
+	ghost := &member{pid: ghostPID, topic: ts}
+	b.insertMember(ghostPID, ghost)
+	ts.pids = append(ts.pids, ghostPID)
 
 	pidBefore := b.nextPID
 	ordBefore := len(b.order)
@@ -427,15 +430,17 @@ func TestJoinRollbackOnJoinViaFailure(t *testing.T) {
 	if len(ts.pids) != 1 {
 		t.Errorf("failed joiner still in topic list: %v", ts.pids)
 	}
-	if len(b.members) != 1 {
-		t.Errorf("failed joiner still registered: %d members", len(b.members))
+	if b.index.Len() != 0 {
+		t.Errorf("failed joiner still registered: %d members", b.index.Len())
 	}
+	// Clear the planted ghost before exercising the bus again: its pid is
+	// exactly the one the next real subscription will receive.
+	ts.pids = ts.pids[:0]
 	// The client's sub map must not hold the failed subscription either:
 	// a retry must not hit the duplicate-subscription error.
 	if _, err := cl.Subscribe("other", nil); err != nil {
 		t.Errorf("client unusable after failed join: %v", err)
 	}
-	// The ghost member gossips nowhere; stepping must not panic or leak.
 	b.StepN(2)
 	assertBusConserved(t, b)
 }

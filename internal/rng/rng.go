@@ -63,6 +63,16 @@ func (s *Source) Split() *Source {
 	return &Source{state: mix64(a ^ (b * golden))}
 }
 
+// SplitInto derives an independent child stream in place, drawing from
+// the parent exactly as Split does but writing the child into
+// caller-provided storage — the allocation-free form used when child
+// sources live inside pooled blocks.
+func (s *Source) SplitInto(dst *Source) {
+	a := s.Uint64()
+	b := s.Uint64()
+	dst.state = mix64(a ^ (b * golden))
+}
+
 // SplitN derives n independent child streams.
 func (s *Source) SplitN(n int) []*Source {
 	out := make([]*Source, n)

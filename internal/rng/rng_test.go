@@ -59,6 +59,25 @@ func TestSplitIndependence(t *testing.T) {
 	}
 }
 
+// TestSplitIntoMatchesSplit pins the allocation-free variant to Split:
+// same parent draws consumed, identical child stream. The pooled engine
+// constructors rely on this equivalence for bit-identical simulations.
+func TestSplitIntoMatchesSplit(t *testing.T) {
+	t.Parallel()
+	a, b := New(7), New(7)
+	ref := a.Split()
+	var dst Source
+	b.SplitInto(&dst)
+	for i := 0; i < 100; i++ {
+		if ref.Uint64() != dst.Uint64() {
+			t.Fatalf("SplitInto child diverged from Split child at draw %d", i)
+		}
+	}
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("SplitInto consumed different parent draws than Split")
+	}
+}
+
 func TestSplitN(t *testing.T) {
 	t.Parallel()
 	kids := New(3).SplitN(8)

@@ -1,0 +1,41 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// TestIndexSparsePathTapeEquivalence pins the identity layer's two lookup
+// paths against each other: a cluster whose pid table is forced through
+// idmap's sparse map must produce delivery tapes and network counters
+// byte-identical to the dense forward-array default, across executors,
+// regimes, and a delayed network. Deliberately not parallel — it toggles
+// the package's construction hook.
+func TestIndexSparsePathTapeEquivalence(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Options)
+	}{
+		{"sync/seq", func(o *Options) {}},
+		{"sync/sharded", func(o *Options) { o.Workers = 4 }},
+		{"async/seq", func(o *Options) { o.Async = true }},
+		{"delayed", func(o *Options) { o.Delay = fault.UniformDelay{Min: 0, Max: 3} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := DefaultOptions(300)
+			opts.Seed = 11
+			opts.Lpbcast.AssumeFromDigest = true
+			opts.WarmupRounds = 2
+			tc.mut(&opts)
+			denseTape, denseNets := eventTape(t, opts, 10)
+			forceSparseIndex = true
+			defer func() { forceSparseIndex = false }()
+			sparseTape, sparseNets := eventTape(t, opts, 10)
+			forceSparseIndex = false
+			assertIdentical(t, "tape", denseTape, sparseTape)
+			assertIdentical(t, "net", denseNets, sparseNets)
+		})
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/event"
 	"repro/internal/fault"
+	"repro/internal/idmap"
 	"repro/internal/membership"
 	"repro/internal/pbcast"
 	"repro/internal/proto"
@@ -262,7 +263,9 @@ type Cluster struct {
 	opts      Options
 	procs     []Process
 	ids       []proto.ProcessID
-	index     map[proto.ProcessID]int
+	index     idmap.Table // pid ↔ dense process index
+	sinks     []procSink  // per-process delivery sinks (lpbcast path)
+	pools     []*core.Pools
 	loss      fault.LossModel
 	crashes   *fault.CrashSchedule
 	topo      fault.Topology    // nil: flat network, every link LinkLocal
@@ -289,6 +292,11 @@ type Cluster struct {
 	// retained across rounds; the sequential and sharded synchronous
 	// dispatchers both read it for positions before pre.
 	arrivalDests []int
+	// viewIdxScratch/viewPIDScratch back uniformView: initial views are
+	// drawn one process at a time through shared scratch, so seeding n
+	// processes costs two allocations total instead of two per process.
+	viewIdxScratch []int
+	viewPIDScratch []proto.ProcessID
 
 	// Event-clock state (Clock == ClockEvent only). Virtual time runs in
 	// milliseconds: round r ends at instant r*periodMs, so period p covers
@@ -310,6 +318,12 @@ type Cluster struct {
 	evOrder []int
 }
 
+// forceSparseIndex is a test hook: when set, the cluster's pid table
+// routes every lookup through idmap's sparse fallback instead of the dense
+// forward array, so equivalence tests can pin the two paths against each
+// other.
+var forceSparseIndex bool
+
 // NewCluster builds a cluster of n processes with uniformly random initial
 // views of size l (the analysis' uniform-view assumption, §4.1), then runs
 // the configured warmup rounds.
@@ -320,11 +334,12 @@ func NewCluster(opts Options) (*Cluster, error) {
 	root := rng.New(opts.Seed)
 	c := &Cluster{
 		opts:    opts,
-		index:   make(map[proto.ProcessID]int, opts.N),
 		topo:    opts.Topology,
 		crashes: fault.NewCrashSchedule(),
 		rec:     newRecorder(opts.N),
 	}
+	c.index.SetSparseOnly(forceSparseIndex)
+	c.index.Reserve(proto.ProcessID(opts.N), opts.N)
 	// Stream discipline: the root splits happen in a fixed order that
 	// depends only on the options, never on the executor, so sequential
 	// and sharded runs of the same options share every stream. The delay
@@ -346,45 +361,41 @@ func NewCluster(opts Options) (*Cluster, error) {
 	c.hasParts = len(c.parts) > 0
 	c.deliverFn = func(owner proto.ProcessID, ev proto.Event) { c.rec.record(owner, ev) }
 
+	c.ids = make([]proto.ProcessID, opts.N)
 	for i := 0; i < opts.N; i++ {
 		pid := proto.ProcessID(i + 1)
-		c.ids = append(c.ids, pid)
-		c.index[pid] = i
+		c.ids[i] = pid
+		c.index.Add(pid)
 	}
 	viewRNG := root.Split()
-	for i := 0; i < opts.N; i++ {
-		pid := c.ids[i]
-		var p Process
-		var err error
-		switch opts.Protocol {
-		case Lpbcast:
-			var eng *core.Engine
-			eng, err = core.New(pid, opts.Lpbcast, c.deliverer(pid), root.Split())
-			if err == nil {
-				eng.Seed(c.uniformView(i, opts.Lpbcast.Membership.MaxView, viewRNG))
-			}
-			p = eng
-		case PbcastPartial:
-			var node *pbcast.Node
-			node, err = pbcast.New(pid, opts.Pbcast, c.deliverer(pid), root.Split())
-			if err == nil {
-				node.Seed(c.uniformView(i, opts.Pbcast.Membership.MaxView, viewRNG))
-			}
-			p = node
-		case PbcastTotal:
-			cfg := opts.Pbcast
-			cfg.Mode = pbcast.TotalView
-			var node *pbcast.Node
-			node, err = pbcast.New(pid, cfg, c.deliverer(pid), root.Split())
-			if err == nil {
-				node.SetTotalView(c.ids)
-			}
-			p = node
+	if opts.Protocol == Lpbcast {
+		if err := c.buildEngines(root, viewRNG); err != nil {
+			return nil, err
 		}
-		if err != nil {
-			return nil, fmt.Errorf("sim: process %v: %w", pid, err)
+	} else {
+		for i := 0; i < opts.N; i++ {
+			pid := c.ids[i]
+			var node *pbcast.Node
+			var err error
+			switch opts.Protocol {
+			case PbcastPartial:
+				node, err = pbcast.New(pid, opts.Pbcast, c.deliverer(pid), root.Split())
+				if err == nil {
+					node.Seed(c.uniformView(i, opts.Pbcast.Membership.MaxView, viewRNG))
+				}
+			case PbcastTotal:
+				cfg := opts.Pbcast
+				cfg.Mode = pbcast.TotalView
+				node, err = pbcast.New(pid, cfg, c.deliverer(pid), root.Split())
+				if err == nil {
+					node.SetTotalView(c.ids)
+				}
+			}
+			if err != nil {
+				return nil, fmt.Errorf("sim: process %v: %w", pid, err)
+			}
+			c.procs = append(c.procs, node)
 		}
-		c.procs = append(c.procs, p)
 	}
 
 	// EmissionReuse flips the sequential executors onto the recycling
@@ -469,19 +480,23 @@ func (c *Cluster) deliverer(pid proto.ProcessID) func(ev proto.Event) {
 }
 
 // uniformView draws l distinct members (excluding process i itself), or
-// just the ring successor when RingSeed is set.
+// just the ring successor when RingSeed is set. The returned slice is the
+// cluster's seeding scratch, valid until the next call — Seed copies it.
 func (c *Cluster) uniformView(i, l int, r *rng.Source) []proto.ProcessID {
 	if c.opts.RingSeed {
-		return []proto.ProcessID{c.ids[(i+1)%c.opts.N]}
+		c.viewPIDScratch = append(c.viewPIDScratch[:0], c.ids[(i+1)%c.opts.N])
+		return c.viewPIDScratch
 	}
-	out := make([]proto.ProcessID, 0, l)
-	for _, j := range r.Sample(c.opts.N-1, l) {
+	c.viewIdxScratch = r.SampleAppend(c.viewIdxScratch[:0], c.opts.N-1, l)
+	out := c.viewPIDScratch[:0]
+	for _, j := range c.viewIdxScratch {
 		// Map [0, N-2] onto ids skipping index i.
 		if j >= i {
 			j++
 		}
 		out = append(out, c.ids[j])
 	}
+	c.viewPIDScratch = out
 	return out
 }
 
@@ -618,7 +633,7 @@ func (c *Cluster) runRoundBody() {
 // that could physically arrive, and only surviving messages draw a delay.
 func (c *Cluster) classify(m proto.Message) (int, bool) {
 	c.net.Sent++
-	di, ok := c.index[m.To]
+	di, ok := c.index.Lookup(m.To)
 	if !ok {
 		c.net.UnknownDest++
 		return -1, false
@@ -665,7 +680,7 @@ func (c *Cluster) classify(m proto.Message) (int, bool) {
 		}
 	}
 	c.net.Delivered++
-	return di, true
+	return int(di), true
 }
 
 // linkClass resolves the class of a link under the configured topology;
@@ -690,7 +705,8 @@ func (c *Cluster) arrive(m proto.Message) (int, bool) {
 	}
 	c.net.Delivered++
 	c.net.DeliveredLate++
-	return c.index[m.To], true
+	di, _ := c.index.Lookup(m.To) // classified at send time, so present
+	return int(di), true
 }
 
 // drainArrivals empties the in-flight bucket of the current round in its
@@ -819,7 +835,11 @@ func (c *Cluster) DeliveredCount(id proto.EventID) int { return c.rec.count(id) 
 
 // HasDelivered reports whether process pid has delivered id.
 func (c *Cluster) HasDelivered(pid proto.ProcessID, id proto.EventID) bool {
-	return c.rec.has(c.index[pid], id)
+	di, ok := c.index.Lookup(pid)
+	if !ok {
+		return false
+	}
+	return c.rec.has(int(di), id)
 }
 
 // recorder tracks first deliveries per (event, process). record is called
