@@ -27,15 +27,28 @@
 // The -clock flag selects the simulator's time base (rounds or event); the
 // event clock runs gossip periods and link delays on a virtual-time timer
 // wheel, with -period-ms setting the period length in virtual ms.
+//
+// The golden-tape flags drive the internal/golden scenario suite instead
+// of the figures:
+//
+//	lpbcast-sim -list-scenarios         # names + one-line docs
+//	lpbcast-sim -record all             # (re)record every golden tape
+//	lpbcast-sim -record wan-partition-heal
+//	lpbcast-sim -replay all             # re-run and diff against the tapes
+//
+// -golden-dir overrides the tape directory (default testdata/golden,
+// relative to the working directory — run from the repository root).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
+	"repro/internal/golden"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -56,9 +69,29 @@ func run(args []string) error {
 		matrix   = fs.String("matrix", "", `scenario sweep spec, e.g. "n=500,1000;f=3,4;eps=0.05;tau=0.01;proto=lpbcast"`)
 		clock    = fs.String("clock", "rounds", "time base: rounds (lockstep) or event (virtual-time scheduler)")
 		periodMs = fs.Int("period-ms", 0, "gossip period in virtual ms on the event clock (0 = default 100)")
+
+		record    = fs.String("record", "", `record golden tape(s): a scenario name or "all"`)
+		replay    = fs.String("replay", "", `re-run golden scenario(s) and diff against the tape(s): a scenario name or "all"`)
+		goldenDir = fs.String("golden-dir", golden.DefaultDir, "golden tape directory for -record/-replay")
+		list      = fs.Bool("list-scenarios", false, "list golden scenario names and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *list {
+		for _, s := range golden.Scenarios() {
+			fmt.Printf("%-20s %s\n", s.Name, s.Doc)
+		}
+		return nil
+	}
+	if *record != "" && *replay != "" {
+		return fmt.Errorf("-record and -replay are mutually exclusive")
+	}
+	if *record != "" {
+		return recordScenarios(*record, *goldenDir)
+	}
+	if *replay != "" {
+		return replayScenarios(*replay, *goldenDir)
 	}
 	workersSet := false
 	fs.Visit(func(f *flag.Flag) {
@@ -141,6 +174,71 @@ func run(args []string) error {
 		}
 		fmt.Print(tbl.Render())
 		fmt.Println()
+	}
+	return nil
+}
+
+// selectScenarios resolves a -record/-replay argument to scenarios.
+func selectScenarios(name string) ([]golden.Scenario, error) {
+	if name == "all" {
+		return golden.Scenarios(), nil
+	}
+	s, ok := golden.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown scenario %q (see -list-scenarios)", name)
+	}
+	return []golden.Scenario{s}, nil
+}
+
+// recordScenarios writes fresh golden tapes.
+func recordScenarios(name, dir string) error {
+	ss, err := selectScenarios(name)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, s := range ss {
+		tape, err := golden.Record(s)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, golden.File(s.Name))
+		if err := os.WriteFile(path, tape, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("recorded %s (%d bytes)\n", path, len(tape))
+	}
+	return nil
+}
+
+// replayScenarios re-runs scenarios and diffs against the checked-in
+// tapes, reporting every divergence before failing.
+func replayScenarios(name, dir string) error {
+	ss, err := selectScenarios(name)
+	if err != nil {
+		return err
+	}
+	failed := 0
+	for _, s := range ss {
+		tape, err := golden.Record(s)
+		if err != nil {
+			return err
+		}
+		want, err := os.ReadFile(filepath.Join(dir, golden.File(s.Name)))
+		if err != nil {
+			return fmt.Errorf("%s: %w (record it first with -record)", s.Name, err)
+		}
+		if err := golden.Compare(tape, want); err != nil {
+			fmt.Printf("FAIL %s: %v\n", s.Name, err)
+			failed++
+			continue
+		}
+		fmt.Printf("ok   %s\n", s.Name)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d scenario(s) diverged from their golden tapes", failed)
 	}
 	return nil
 }

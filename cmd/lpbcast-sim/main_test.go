@@ -1,9 +1,13 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"reflect"
 	"testing"
 
+	"repro/internal/fault"
+	"repro/internal/golden"
 	"repro/internal/sim"
 )
 
@@ -86,5 +90,100 @@ func TestRunBadFlags(t *testing.T) {
 	t.Parallel()
 	if err := run([]string{"-quick=maybe"}); err == nil {
 		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunClockFlag(t *testing.T) {
+	t.Parallel()
+	if err := run([]string{"-matrix", "n=60;f=3;rounds=6;repeats=1", "-clock", "event"}); err != nil {
+		t.Fatalf("run(-clock event): %v", err)
+	}
+	if err := run([]string{"-matrix", "n=60;f=3;rounds=6;repeats=1", "-clock", "event", "-period-ms", "50"}); err != nil {
+		t.Fatalf("run(-clock event -period-ms 50): %v", err)
+	}
+	if err := run([]string{"-fig", "5b", "-quick", "-clock", "sundial"}); err == nil {
+		t.Fatal("unknown clock accepted")
+	}
+	// PeriodMs is an event-clock knob; the round clock must reject it.
+	if err := run([]string{"-matrix", "n=60;f=3;rounds=6;repeats=1", "-period-ms", "50"}); err == nil {
+		t.Fatal("period-ms accepted on the round clock")
+	}
+}
+
+func TestParseMatrixSpecDelay(t *testing.T) {
+	t.Parallel()
+	spec, err := parseMatrixSpec("n=60;delay=fixed:2,uniform:1-4,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"fixed:2", "uniform:1-4", ""}
+	if !reflect.DeepEqual(spec.DelaySpecs, want) {
+		t.Fatalf("delay specs %q, want %q", spec.DelaySpecs, want)
+	}
+	// The specs parse through fault.ParseDelaySpec when the matrix runs;
+	// pin the grammar end to end for the round- and ms-unit forms.
+	for _, s := range []string{"fixed:2", "uniform:1-4", "ms:fixed:30"} {
+		if _, err := fault.ParseDelaySpec(s); err != nil {
+			t.Errorf("ParseDelaySpec(%q): %v", s, err)
+		}
+	}
+	if err := run([]string{"-matrix", "n=60;f=3;rounds=6;repeats=1;delay=nonsense:9"}); err == nil {
+		t.Fatal("bad delay spec accepted")
+	}
+}
+
+func TestRunMatrixDelay(t *testing.T) {
+	t.Parallel()
+	if err := run([]string{"-matrix", "n=60;f=3;rounds=6;repeats=1;delay=fixed:1"}); err != nil {
+		t.Fatalf("run(-matrix delay): %v", err)
+	}
+}
+
+func TestRunListScenarios(t *testing.T) {
+	t.Parallel()
+	if err := run([]string{"-list-scenarios"}); err != nil {
+		t.Fatalf("run(-list-scenarios): %v", err)
+	}
+}
+
+func TestRunRecordReplay(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	const name = "million-lite-churn" // cheapest scenario in the registry
+	if err := run([]string{"-record", name, "-golden-dir", dir}); err != nil {
+		t.Fatalf("run(-record): %v", err)
+	}
+	tape, err := os.ReadFile(filepath.Join(dir, golden.File(name)))
+	if err != nil {
+		t.Fatalf("recorded tape missing: %v", err)
+	}
+	if len(tape) == 0 {
+		t.Fatal("recorded tape is empty")
+	}
+	if err := run([]string{"-replay", name, "-golden-dir", dir}); err != nil {
+		t.Fatalf("run(-replay): %v", err)
+	}
+	// A corrupted tape must fail the replay.
+	if err := os.WriteFile(filepath.Join(dir, golden.File(name)), append(tape, "tamper\n"...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-replay", name, "-golden-dir", dir}); err == nil {
+		t.Fatal("replay accepted a tampered tape")
+	}
+}
+
+func TestRunGoldenFlagErrors(t *testing.T) {
+	t.Parallel()
+	if err := run([]string{"-record", "no-such-scenario"}); err == nil {
+		t.Fatal("unknown record scenario accepted")
+	}
+	if err := run([]string{"-replay", "no-such-scenario"}); err == nil {
+		t.Fatal("unknown replay scenario accepted")
+	}
+	if err := run([]string{"-record", "all", "-replay", "all"}); err == nil {
+		t.Fatal("-record with -replay accepted")
+	}
+	if err := run([]string{"-replay", "million-lite-churn", "-golden-dir", t.TempDir()}); err == nil {
+		t.Fatal("replay without a recorded tape accepted")
 	}
 }

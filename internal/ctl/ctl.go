@@ -12,6 +12,12 @@
 // The package is transport-agnostic behind two small interfaces: Source
 // (the read view) and Injector (the fault surface, nil when the transport
 // cannot inject). It deliberately uses only net/http and encoding/json.
+//
+// cmd/lpbcast-node mounts the plane with -ctl-addr; live.Cluster and
+// standalone nodes both satisfy Source. The polling gate keeps the
+// instrumented node round allocation-free (the live/ctl-node-round
+// benchmark holds it at 0 allocs/op), so attaching the control plane does
+// not perturb the gossip path it observes.
 package ctl
 
 import (

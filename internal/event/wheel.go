@@ -17,6 +17,12 @@
 // node arena with an intrusive free list, slot lists are intrusive too, and
 // the due batch is a retained scratch slice valid until the next PopAt.
 // Occupancy bitmaps make Next O(1) per level in the common case.
+//
+// The simulator consumes the wheel through sim.Options{Clock: ClockEvent}:
+// gossip periods and per-link millisecond delays become scheduled
+// instants, and for rounds-granular models the event clock reproduces the
+// round clock's results byte-for-byte — a bridge guarantee the golden
+// tapes assert end to end (see internal/golden).
 package event
 
 import (

@@ -1,0 +1,101 @@
+// Package golden turns whole-system behavior into a byte diff.
+//
+// The paper's claims are end-to-end: reliability degrades gracefully under
+// loss, crashes, partitions, and buffer pressure. Unit tests pin single
+// layers; this package pins the composition. A golden run records a
+// canonical, versioned event tape — publishes, deliveries, membership
+// churn, NetStats/engine/view checkpoints — from a named scenario through
+// the trace.Tracer seam, and CI diffs the tape against a checked-in file
+// under testdata/golden/ (the sim-record technique: any behavioral drift,
+// intended or not, shows up as a one-line diff instead of a silent curve
+// shift).
+//
+// Tapes are canonical by construction, never by luck:
+//
+//   - Events are buffered per round and sorted (or aggregated into counts)
+//     before serialization, so the sharded executors' nondeterministic
+//     intra-round delivery order cannot leak into the bytes. A scenario's
+//     tape is therefore byte-identical for any Workers setting, and — for
+//     scenarios marked BothClocks — across the round and event clocks,
+//     which the golden tests assert on every run.
+//   - The tape header fingerprints the scenario's semantics (n, protocol,
+//     seed, fault schedule) but never the execution variant (Workers,
+//     clock), so cross-variant comparison is plain byte equality.
+//   - Checkpoints use only integer counters and an order-independent FNV
+//     view hash; no floats, no wall-clock times, no map-iteration order.
+//
+// Regenerating after an intended behavior change:
+//
+//	go test ./internal/golden -run TestGoldenTapes -update
+//
+// or equivalently `go run ./cmd/lpbcast-sim -record` from the repo root;
+// review the tape diff like any other code change. docs/SCENARIOS.md
+// catalogs every scenario and the qualitative outcome its tape encodes.
+package golden
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+)
+
+// Version is the tape format version; bump it when the serialization
+// changes shape (every tape regenerates on a bump, so diffs stay readable).
+const Version = 1
+
+// DefaultDir is the tape directory relative to the repository root.
+const DefaultDir = "testdata/golden"
+
+// File returns the tape filename for a scenario name.
+func File(name string) string { return name + ".tape" }
+
+// compareContext is how many matching lines are replayed before the first
+// divergence when Compare formats its error.
+const compareContext = 3
+
+// Compare diffs a freshly recorded tape against the checked-in bytes.
+// It returns nil when they are identical, and otherwise an error citing
+// the first divergent line with a little surrounding context — enough to
+// see *what* drifted without dumping whole tapes into test logs.
+func Compare(got, want []byte) error {
+	if bytes.Equal(got, want) {
+		return nil
+	}
+	gl := strings.Split(string(got), "\n")
+	wl := strings.Split(string(want), "\n")
+	i := 0
+	for i < len(gl) && i < len(wl) && gl[i] == wl[i] {
+		i++
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "tapes diverge at line %d", i+1)
+	lo := i - compareContext
+	if lo < 0 {
+		lo = 0
+	}
+	for j := lo; j < i; j++ {
+		fmt.Fprintf(&b, "\n  ...   %s", gl[j])
+	}
+	line := func(ls []string, k int) string {
+		if k < len(ls) {
+			return ls[k]
+		}
+		return "<end of tape>"
+	}
+	fmt.Fprintf(&b, "\n  want: %s", line(wl, i))
+	fmt.Fprintf(&b, "\n  got:  %s", line(gl, i))
+	fmt.Fprintf(&b, "\n(%d recorded lines, %d golden lines)", len(gl), len(wl))
+	return fmt.Errorf("%s", b.String())
+}
+
+// tapeWriter accumulates tape lines.
+type tapeWriter struct {
+	b strings.Builder
+}
+
+func (w *tapeWriter) linef(format string, args ...any) {
+	fmt.Fprintf(&w.b, format, args...)
+	w.b.WriteByte('\n')
+}
+
+func (w *tapeWriter) bytes() []byte { return []byte(w.b.String()) }

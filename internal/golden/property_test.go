@@ -1,0 +1,127 @@
+package golden
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// This file is a hand-rolled property harness in the gopter style: a
+// deterministic generator draws scenarios from the configuration space the
+// golden registry cannot enumerate, and every draw must satisfy the
+// system's invariants — conservation, view bounds, and tape determinism
+// across executors — even though no golden file exists for it. Failures
+// print the drawing seed, so any counterexample replays exactly.
+
+// genOptions draws a random but valid cluster configuration.
+func genOptions(r *rng.Source) (sim.Options, int) {
+	cfg := core.DefaultConfig()
+	switch r.Intn(3) {
+	case 0:
+		cfg.MaxEvents = 1 // saturation regime
+	case 1:
+		cfg.MaxEvents = 5
+	}
+	switch r.Intn(3) {
+	case 0:
+		cfg.Retransmit = true
+		cfg.MaxRetransmitPerGossip = 4
+		if r.Intn(2) == 0 {
+			cfg.RetransmitTimeout = 2
+		}
+	case 1:
+		cfg.AssumeFromDigest = true
+	}
+	rounds := 8 + r.Intn(9) // 8..16
+	opts := sim.Options{
+		N:       20 + r.Intn(101), // 20..120
+		Seed:    r.Uint64(),
+		Lpbcast: cfg,
+		Epsilon: []float64{0, 0.05, 0.2}[r.Intn(3)],
+		Tau:     []float64{0, 0.02}[r.Intn(2)],
+		Horizon: uint64(rounds),
+		Async:   r.Intn(2) == 0,
+	}
+	return opts, rounds
+}
+
+// genScenario wraps a drawn configuration in an anonymous Scenario with a
+// random publish load, so the tape recorder can run it.
+func genScenario(r *rng.Source, i int) Scenario {
+	opts, rounds := genOptions(r)
+	return Scenario{
+		Name:   fmt.Sprintf("prop-%d", i),
+		Kind:   KindCluster,
+		Opts:   opts,
+		Load:   Load{From: 1, To: 1 + r.Intn(rounds), Rate: 1 + r.Intn(3)},
+		Rounds: rounds,
+	}
+}
+
+// TestPropertyTapeDeterminism asserts, for random scenarios, that the
+// recorded tape is byte-identical between the sequential and sharded
+// executors — the golden suite's canonicalization must hold over the whole
+// scenario space, not just the nine registered points.
+func TestPropertyTapeDeterminism(t *testing.T) {
+	iters := 12
+	if testing.Short() {
+		iters = 4
+	}
+	for i := 0; i < iters; i++ {
+		seed := uint64(0x9e3779b97f4a7c15)*uint64(i+1) + 1
+		r := rng.New(seed)
+		s := genScenario(r, i)
+		seq, err := RecordVariant(s, sim.RunConfig{Workers: 1})
+		if err != nil {
+			t.Fatalf("seed %#x: sequential record: %v", seed, err)
+		}
+		par, err := RecordVariant(s, sim.RunConfig{Workers: -1})
+		if err != nil {
+			t.Fatalf("seed %#x: sharded record: %v", seed, err)
+		}
+		if err := Compare(par, seq); err != nil {
+			t.Errorf("seed %#x (n=%d async=%v eps=%g): executor tapes diverge: %v",
+				seed, s.Opts.N, s.Opts.Async, s.Opts.Epsilon, err)
+		}
+	}
+}
+
+// TestPropertyInvariants runs random scenarios directly and checks the
+// invariants no configuration may break: NetStats conservation at every
+// round, and membership views bounded by l = MaxView.
+func TestPropertyInvariants(t *testing.T) {
+	iters := 12
+	if testing.Short() {
+		iters = 4
+	}
+	for i := 0; i < iters; i++ {
+		seed := uint64(0xd1342543de82ef95)*uint64(i+1) + 3
+		r := rng.New(seed)
+		opts, rounds := genOptions(r)
+		c, err := sim.NewCluster(opts)
+		if err != nil {
+			t.Fatalf("seed %#x: %v", seed, err)
+		}
+		for round := 1; round <= rounds; round++ {
+			if round <= rounds/2 {
+				if _, err := c.PublishAt(r.Intn(opts.N)); err != nil {
+					t.Fatalf("seed %#x: publish: %v", seed, err)
+				}
+			}
+			c.RunRound()
+			if err := c.NetStats().Conserved(); err != nil {
+				t.Fatalf("seed %#x round %d: conservation broken: %v", seed, round, err)
+			}
+		}
+		maxView := opts.Lpbcast.Membership.MaxView
+		for pid, view := range c.Graph() {
+			if len(view) > maxView {
+				t.Errorf("seed %#x: process %s view %d exceeds l=%d", seed, pid, len(view), maxView)
+			}
+		}
+		c.Close()
+	}
+}

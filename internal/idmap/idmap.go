@@ -7,6 +7,12 @@
 // columns. Indices are recycled through a free list when processes leave,
 // so a churning system's tables stay bounded by the peak live population
 // rather than by the total number of identities ever seen.
+//
+// The simulator's million-process construction path keys every
+// per-process handle on a Table index, and the golden suite's
+// million-lite-churn scenario pins that recycled slots never misroute a
+// delivery. Package pool provides the matching bulk allocators for the
+// records these indices address.
 package idmap
 
 import (

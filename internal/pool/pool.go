@@ -10,7 +10,10 @@
 // Pools are deliberately NOT safe for concurrent use. A concurrent
 // consumer gives each worker its own pool (shard-local allocation), which
 // both avoids locks and keeps chunk locality per shard — this is how the
-// sharded simulator parallelizes cluster construction.
+// sharded simulator parallelizes cluster construction. The
+// executor/setup benchmarks gate the result: ~0.1 heap allocations per
+// process when building a million engines. Package idmap provides the
+// dense indices that address the records allocated here.
 package pool
 
 import "unsafe"

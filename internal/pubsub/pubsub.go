@@ -31,6 +31,7 @@ import (
 	"repro/internal/proto"
 	"repro/internal/rng"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Handler receives notifications delivered on a topic. Handlers run with
@@ -81,6 +82,14 @@ type Config struct {
 	// core.DefaultConfig with retransmission enabled (so payloads survive
 	// loss).
 	Engine core.Config
+	// Tracer, when set, observes membership and delivery events: KindJoinSent
+	// when a subscription registers, KindLeave when a member is removed, and
+	// KindDeliver for each notification a non-leaving member delivers
+	// (Node = member pid, EventID = notification, N = current step). The bus
+	// invokes it under its own lock, always from a single goroutine, so a
+	// plain (non-synchronized) implementation is acceptable here even though
+	// the simulator seam requires concurrency safety.
+	Tracer trace.Tracer
 }
 
 // effectiveDelay resolves the delay model in force, like the simulator:
@@ -314,8 +323,13 @@ func (b *Bus) join(client, topic string, h Handler) (*Subscription, error) {
 	b.nextPID++
 	m := &member{pid: pid, handler: h, client: client}
 	eng, err := core.New(pid, b.cfg.Engine, func(ev proto.Event) {
-		if m.handler != nil && m.leaving == 0 {
-			b.pending = append(b.pending, delivery{ts: m.topic, h: m.handler, ev: ev})
+		if m.leaving == 0 {
+			if tr := b.cfg.Tracer; tr != nil {
+				tr.Record(trace.Event{Kind: trace.KindDeliver, Node: m.pid, EventID: ev.ID, N: int(b.now)})
+			}
+			if m.handler != nil {
+				b.pending = append(b.pending, delivery{ts: m.topic, h: m.handler, ev: ev})
+			}
 		}
 	}, b.root.Split())
 	if err != nil {
@@ -363,6 +377,9 @@ func (b *Bus) join(client, topic string, h Handler) (*Subscription, error) {
 		b.queue = append(b.queue[:0], join)
 		b.qTally = append(b.qTally[:0], ts)
 		b.dispatchLocked(0)
+	}
+	if tr := b.cfg.Tracer; tr != nil {
+		tr.Record(trace.Event{Kind: trace.KindJoinSent, Node: pid, N: int(b.now)})
 	}
 	return &Subscription{topic: topic, pid: pid}, nil
 }
@@ -669,6 +686,9 @@ func (b *Bus) removeMember(pid proto.ProcessID) {
 	m := b.lookupMember(pid)
 	if m == nil {
 		return
+	}
+	if tr := b.cfg.Tracer; tr != nil {
+		tr.Record(trace.Event{Kind: trace.KindLeave, Node: pid, N: int(b.now)})
 	}
 	b.dropMember(pid)
 	if i := sort.Search(len(b.order), func(i int) bool { return b.order[i] >= pid }); i < len(b.order) && b.order[i] == pid {

@@ -32,6 +32,7 @@ import (
 	"repro/internal/proto"
 	"repro/internal/rng"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Process is the engine-side contract the simulator drives. Both
@@ -136,6 +137,18 @@ type Options struct {
 	// Windows cutting the same class must not overlap, and must start
 	// inside the horizon when one is set (Validate enforces both).
 	Partitions []fault.Partition
+	// Tracer, when set, observes protocol events during the run through
+	// the same trace.Tracer seam the live runtime uses. The simulator
+	// currently emits KindDeliver — one event per first delivery, with
+	// Node set to the delivering process, EventID to the notification, and
+	// N to the current round (When stays zero: virtual time has no wall
+	// clock). The sharded executors invoke the tracer concurrently from
+	// the handle phase, so implementations must be safe for concurrent use
+	// (all trace sinks are). Delivery *order* within a round is executor-
+	// dependent; the per-round delivery *set* is not — consumers that need
+	// byte-stable output across Workers (internal/golden) sort each
+	// round's events before serializing.
+	Tracer trace.Tracer
 }
 
 // maxDelayBound caps a delay model's MaxDelay: the in-flight ring is
@@ -360,6 +373,13 @@ func NewCluster(opts Options) (*Cluster, error) {
 	c.parts = opts.Partitions
 	c.hasParts = len(c.parts) > 0
 	c.deliverFn = func(owner proto.ProcessID, ev proto.Event) { c.rec.record(owner, ev) }
+	if tr := opts.Tracer; tr != nil {
+		inner := c.deliverFn
+		c.deliverFn = func(owner proto.ProcessID, ev proto.Event) {
+			inner(owner, ev)
+			tr.Record(trace.Event{Kind: trace.KindDeliver, Node: owner, EventID: ev.ID, N: int(c.now)})
+		}
+	}
 
 	c.ids = make([]proto.ProcessID, opts.N)
 	for i := 0; i < opts.N; i++ {
